@@ -1,0 +1,126 @@
+//! Finite-difference gradient checking.
+//!
+//! [`check_gradients`] rebuilds the computation for every perturbed input
+//! element, so it is O(elements × graph); use small shapes. It is the
+//! correctness oracle for every op in this crate and for the full combined
+//! loss in `amoe-core`.
+
+use amoe_tensor::Matrix;
+
+use crate::{Tape, Var};
+
+/// Result of a single gradient comparison.
+#[derive(Debug, Clone)]
+pub struct GradCheckFailure {
+    /// Which input matrix disagreed.
+    pub input: usize,
+    /// Flat element index within that input.
+    pub element: usize,
+    /// Gradient from the backward pass.
+    pub analytic: f32,
+    /// Central finite-difference estimate.
+    pub numeric: f32,
+}
+
+/// Compares backward-pass gradients of `f` against central finite
+/// differences at the point `inputs`.
+///
+/// `f` receives a fresh tape and one leaf per input and must return a
+/// scalar (`1x1`) loss variable. Returns all failures where
+/// `|analytic - numeric| > tol * max(1, |analytic|, |numeric|)`.
+pub fn check_gradients<F>(f: F, inputs: &[Matrix], eps: f32, tol: f32) -> Vec<GradCheckFailure>
+where
+    F: Fn(&Tape, &[Var<'_>]) -> f32to_loss::LossId,
+{
+    // Evaluate analytic gradients once.
+    let tape = Tape::new();
+    let vars: Vec<Var<'_>> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let loss = f(&tape, &vars).resolve(&tape);
+    let grads = tape.backward(loss);
+    let analytic: Vec<Matrix> = vars
+        .iter()
+        .map(|v| {
+            let (r, c) = v.shape();
+            grads.get_or_zeros(*v, r, c)
+        })
+        .collect();
+
+    let mut failures = Vec::new();
+    for (ii, input) in inputs.iter().enumerate() {
+        for e in 0..input.len() {
+            let numeric = {
+                let mut plus = inputs.to_vec();
+                plus[ii].as_mut_slice()[e] += eps;
+                let lp = eval_loss(&f, &plus);
+                let mut minus = inputs.to_vec();
+                minus[ii].as_mut_slice()[e] -= eps;
+                let lm = eval_loss(&f, &minus);
+                (lp - lm) / (2.0 * eps)
+            };
+            let a = analytic[ii].as_slice()[e];
+            let scale = 1.0f32.max(a.abs()).max(numeric.abs());
+            if (a - numeric).abs() > tol * scale {
+                failures.push(GradCheckFailure {
+                    input: ii,
+                    element: e,
+                    analytic: a,
+                    numeric,
+                });
+            }
+        }
+    }
+    failures
+}
+
+fn eval_loss<F>(f: &F, inputs: &[Matrix]) -> f32
+where
+    F: Fn(&Tape, &[Var<'_>]) -> f32to_loss::LossId,
+{
+    let tape = Tape::new();
+    let vars: Vec<Var<'_>> = inputs.iter().map(|m| tape.leaf(m.clone())).collect();
+    let loss = f(&tape, &vars).resolve(&tape);
+    loss.value()[(0, 0)]
+}
+
+/// Helper so the builder closure can return a loss without fighting the
+/// borrow checker over the tape lifetime: it returns the node id, which
+/// the checker resolves against its own tape.
+pub mod f32to_loss {
+    use crate::{Tape, Var};
+
+    /// An opaque loss handle: the node id of a scalar on the caller's tape.
+    #[derive(Clone, Copy, Debug)]
+    pub struct LossId(usize);
+
+    impl LossId {
+        pub(crate) fn resolve(self, tape: &Tape) -> Var<'_> {
+            Var::new(tape, self.0)
+        }
+    }
+
+    impl<'t> From<Var<'t>> for LossId {
+        fn from(v: Var<'t>) -> Self {
+            assert_eq!(
+                v.shape(),
+                (1, 1),
+                "gradient check: loss must be a 1x1 scalar, got {:?}",
+                v.shape()
+            );
+            LossId(v.id())
+        }
+    }
+}
+
+/// Panics with a readable report if any gradient disagrees.
+pub fn assert_gradients<F>(f: F, inputs: &[Matrix], eps: f32, tol: f32)
+where
+    F: Fn(&Tape, &[Var<'_>]) -> f32to_loss::LossId,
+{
+    let failures = check_gradients(f, inputs, eps, tol);
+    assert!(
+        failures.is_empty(),
+        "gradient check failed at {} element(s); first: {:?}",
+        failures.len(),
+        failures.first()
+    );
+}

@@ -1,0 +1,440 @@
+//! [`Var`]: a copyable handle to a tape node, with operator overloading.
+
+use std::ops::{Add, Div, Mul, Neg, Sub};
+
+use amoe_tensor::{matmul, ops, reduce, topk, Matrix};
+
+use crate::tape::{Op, Tape};
+
+/// A handle to a node on a [`Tape`].
+///
+/// `Var` is `Copy` (a tape reference plus an index), so expressions like
+/// `(a + b) * a` work without explicit clones. All operations panic on
+/// shape mismatch with a message naming the operation, mirroring the
+/// kernel layer.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    tape: &'t Tape,
+    id: usize,
+}
+
+impl<'t> Var<'t> {
+    pub(crate) fn new(tape: &'t Tape, id: usize) -> Self {
+        Var { tape, id }
+    }
+
+    /// The node id on the tape.
+    #[must_use]
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The tape this variable lives on.
+    #[must_use]
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// Clone of the forward value.
+    #[must_use]
+    pub fn value(&self) -> Matrix {
+        self.tape.value(self.id)
+    }
+
+    /// Shape of the forward value.
+    #[must_use]
+    pub fn shape(&self) -> (usize, usize) {
+        self.tape.shape(self.id)
+    }
+
+    fn unary(self, value: Matrix, op: Op) -> Var<'t> {
+        self.tape.push(value, op)
+    }
+
+    /// Matrix product `self · rhs`.
+    #[must_use]
+    pub fn matmul(self, rhs: Var<'t>) -> Var<'t> {
+        let v = matmul::matmul(&self.value(), &rhs.value());
+        self.unary(v, Op::MatMul(self.id, rhs.id))
+    }
+
+    /// Adds a `1 x n` bias row to every row.
+    #[must_use]
+    pub fn add_row(self, row: Var<'t>) -> Var<'t> {
+        let v = ops::add_row_broadcast(&self.value(), &row.value());
+        self.unary(v, Op::AddRowBroadcast(self.id, row.id))
+    }
+
+    /// Scales every row by the matching entry of an `m x 1` column.
+    #[must_use]
+    pub fn mul_col(self, col: Var<'t>) -> Var<'t> {
+        let v = ops::mul_col_broadcast(&self.value(), &col.value());
+        self.unary(v, Op::MulColBroadcast(self.id, col.id))
+    }
+
+    /// Element-wise ReLU.
+    #[must_use]
+    pub fn relu(self) -> Var<'t> {
+        let v = ops::relu(&self.value());
+        self.unary(v, Op::Relu(self.id))
+    }
+
+    /// Element-wise logistic sigmoid.
+    #[must_use]
+    pub fn sigmoid(self) -> Var<'t> {
+        let v = ops::sigmoid(&self.value());
+        self.unary(v, Op::Sigmoid(self.id))
+    }
+
+    /// Element-wise tanh.
+    #[must_use]
+    pub fn tanh(self) -> Var<'t> {
+        let v = ops::map(&self.value(), f32::tanh);
+        self.unary(v, Op::Tanh(self.id))
+    }
+
+    /// Element-wise exp.
+    #[must_use]
+    pub fn exp(self) -> Var<'t> {
+        let v = ops::map(&self.value(), f32::exp);
+        self.unary(v, Op::Exp(self.id))
+    }
+
+    /// Element-wise natural logarithm.
+    #[must_use]
+    pub fn ln(self) -> Var<'t> {
+        let v = ops::map(&self.value(), f32::ln);
+        self.unary(v, Op::Ln(self.id))
+    }
+
+    /// Element-wise softplus.
+    #[must_use]
+    pub fn softplus(self) -> Var<'t> {
+        let v = ops::softplus(&self.value());
+        self.unary(v, Op::Softplus(self.id))
+    }
+
+    /// Element-wise square.
+    #[must_use]
+    pub fn square(self) -> Var<'t> {
+        self * self
+    }
+
+    /// Multiplication by a scalar constant.
+    #[must_use]
+    pub fn scale(self, c: f32) -> Var<'t> {
+        let v = ops::scale(&self.value(), c);
+        self.unary(v, Op::Scale(self.id, c))
+    }
+
+    /// Addition of a scalar constant.
+    #[must_use]
+    pub fn add_scalar(self, c: f32) -> Var<'t> {
+        let v = ops::add_scalar(&self.value(), c);
+        self.unary(v, Op::AddScalar(self.id, c))
+    }
+
+    /// Row-wise softmax over the full support.
+    #[must_use]
+    pub fn softmax_rows(self) -> Var<'t> {
+        let v = ops::softmax_rows(&self.value());
+        self.unary(v, Op::SoftmaxRows(self.id))
+    }
+
+    /// Row-wise softmax restricted to entries where `mask != 0` (Eq. 6–7:
+    /// the top-K masked softmax). Masked entries get exactly zero
+    /// probability and zero gradient; the mask itself is a constant.
+    ///
+    /// # Panics
+    /// Panics if the mask shape differs or a row of the mask is all zero.
+    #[must_use]
+    pub fn masked_softmax_rows(self, mask: &Matrix) -> Var<'t> {
+        let x = self.value();
+        assert_eq!(
+            x.shape(),
+            mask.shape(),
+            "masked_softmax_rows: mask shape {:?} vs input {:?}",
+            mask.shape(),
+            x.shape()
+        );
+        let masked = ops::zip_map(&x, mask, |v, m| if m != 0.0 { v } else { f32::NEG_INFINITY });
+        let v = ops::softmax_rows(&masked);
+        self.unary(
+            v,
+            Op::MaskedSoftmaxRows {
+                input: self.id,
+                mask: mask.clone(),
+            },
+        )
+    }
+
+    /// Convenience: masked softmax keeping each row's top-`k` inputs.
+    /// Returns the probabilities and the 0/1 mask that was applied.
+    #[must_use]
+    pub fn topk_softmax_rows(self, k: usize) -> (Var<'t>, Matrix) {
+        let mask = topk::row_topk_mask(&self.value(), k);
+        (self.masked_softmax_rows(&mask), mask)
+    }
+
+    /// Row sums `[m,n] -> [m,1]`.
+    #[must_use]
+    pub fn row_sum(self) -> Var<'t> {
+        let v = reduce::row_sum(&self.value());
+        self.unary(v, Op::RowSum(self.id))
+    }
+
+    /// Column sums `[m,n] -> [1,n]`.
+    #[must_use]
+    pub fn col_sum(self) -> Var<'t> {
+        let v = reduce::col_sum(&self.value());
+        self.unary(v, Op::ColSum(self.id))
+    }
+
+    /// Sum of all entries, producing a `1x1` scalar node.
+    #[must_use]
+    pub fn sum_all(self) -> Var<'t> {
+        let v = Matrix::scalar(reduce::sum(&self.value()));
+        self.unary(v, Op::SumAll(self.id))
+    }
+
+    /// Mean of all entries, producing a `1x1` scalar node.
+    #[must_use]
+    pub fn mean_all(self) -> Var<'t> {
+        let v = Matrix::scalar(reduce::mean(&self.value()));
+        self.unary(v, Op::MeanAll(self.id))
+    }
+
+    /// Embedding lookup: treats `self` as a table and gathers the given
+    /// rows. Gradients scatter-add back into the table.
+    ///
+    /// # Panics
+    /// Panics if any index is out of bounds or `indices` is empty.
+    #[must_use]
+    pub fn embed(self, indices: &[usize]) -> Var<'t> {
+        let v = self.value().gather_rows(indices);
+        self.unary(
+            v,
+            Op::EmbedLookup {
+                table: self.id,
+                indices: indices.to_vec(),
+            },
+        )
+    }
+
+    /// Horizontal concatenation of several variables (same row counts).
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or row counts disagree.
+    #[must_use]
+    pub fn concat_cols(parts: &[Var<'t>]) -> Var<'t> {
+        assert!(!parts.is_empty(), "concat_cols: no parts");
+        let values: Vec<Matrix> = parts.iter().map(Var::value).collect();
+        let refs: Vec<&Matrix> = values.iter().collect();
+        let v = Matrix::hcat(&refs);
+        parts[0]
+            .tape
+            .push(v, Op::ConcatCols(parts.iter().map(|p| p.id).collect()))
+    }
+
+    /// Element-wise product with a constant matrix (mask, noise, ...).
+    #[must_use]
+    pub fn mul_const(self, konst: &Matrix) -> Var<'t> {
+        let v = ops::mul(&self.value(), konst);
+        self.unary(
+            v,
+            Op::MulConst {
+                input: self.id,
+                konst: konst.clone(),
+            },
+        )
+    }
+
+    /// Element-wise sum with a constant matrix.
+    #[must_use]
+    pub fn add_const(self, konst: &Matrix) -> Var<'t> {
+        let v = ops::add(&self.value(), konst);
+        self.unary(
+            v,
+            Op::AddConst {
+                input: self.id,
+                konst: konst.clone(),
+            },
+        )
+    }
+
+    /// Identity in the forward pass, stops gradients in the backward pass.
+    #[must_use]
+    pub fn detach(self) -> Var<'t> {
+        let v = self.value();
+        self.unary(v, Op::Detach(self.id))
+    }
+
+    /// Numerically stable per-element binary cross-entropy against
+    /// constant `targets`, treating `self` as logits:
+    /// `max(x,0) - x·y + ln(1 + e^{-|x|})`.
+    ///
+    /// Returns the matrix of per-element losses (reduce with
+    /// [`Var::mean_all`] for the batch loss, Eq. 13).
+    #[must_use]
+    pub fn bce_with_logits(self, targets: &Matrix) -> Var<'t> {
+        let x = self.value();
+        assert_eq!(
+            x.shape(),
+            targets.shape(),
+            "bce_with_logits: target shape {:?} vs logits {:?}",
+            targets.shape(),
+            x.shape()
+        );
+        let v = ops::zip_map(&x, targets, |x, y| {
+            x.max(0.0) - x * y + ops::softplus_scalar(-x.abs())
+        });
+        self.unary(
+            v,
+            Op::BceWithLogits {
+                logits: self.id,
+                targets: targets.clone(),
+            },
+        )
+    }
+
+    /// Columns `[start, end)` as a new node.
+    #[must_use]
+    pub fn slice_cols(self, start: usize, end: usize) -> Var<'t> {
+        let v = self.value().slice_cols(start, end);
+        self.unary(
+            v,
+            Op::SliceCols {
+                input: self.id,
+                start,
+                end,
+            },
+        )
+    }
+}
+
+impl<'t> Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Var<'t>) -> Var<'t> {
+        let v = ops::add(&self.value(), &rhs.value());
+        self.tape.push(v, Op::Add(self.id, rhs.id))
+    }
+}
+
+impl<'t> Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        let v = ops::sub(&self.value(), &rhs.value());
+        self.tape.push(v, Op::Sub(self.id, rhs.id))
+    }
+}
+
+impl<'t> Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        let v = ops::mul(&self.value(), &rhs.value());
+        self.tape.push(v, Op::Mul(self.id, rhs.id))
+    }
+}
+
+impl<'t> Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: Var<'t>) -> Var<'t> {
+        let v = ops::div(&self.value(), &rhs.value());
+        self.tape.push(v, Op::Div(self.id, rhs.id))
+    }
+}
+
+impl<'t> Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Var<'t> {
+        let v = ops::scale(&self.value(), -1.0);
+        self.tape.push(v, Op::Neg(self.id))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoe_tensor::assert_close;
+
+    #[test]
+    fn operator_overloads_forward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_rows(&[&[2.0, 3.0]]));
+        let b = tape.leaf(Matrix::from_rows(&[&[4.0, 5.0]]));
+        assert_eq!((a + b).value().row(0), &[6.0, 8.0]);
+        assert_eq!((a - b).value().row(0), &[-2.0, -2.0]);
+        assert_eq!((a * b).value().row(0), &[8.0, 15.0]);
+        assert_eq!((b / a).value().row(0), &[2.0, 5.0 / 3.0]);
+        assert_eq!((-a).value().row(0), &[-2.0, -3.0]);
+    }
+
+    #[test]
+    fn topk_softmax_rows_masks() {
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::from_rows(&[&[1.0, 3.0, 2.0, -1.0]]));
+        let (p, mask) = x.topk_softmax_rows(2);
+        let pv = p.value();
+        assert_eq!(pv[(0, 0)], 0.0);
+        assert_eq!(pv[(0, 3)], 0.0);
+        assert!((pv.row(0).iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(pv[(0, 1)] > pv[(0, 2)]);
+        assert_eq!(mask[(0, 1)], 1.0);
+        assert_eq!(mask[(0, 2)], 1.0);
+    }
+
+    #[test]
+    fn bce_matches_naive_formula() {
+        let tape = Tape::new();
+        let logits = Matrix::from_rows(&[&[0.3, -1.2, 4.0]]);
+        let targets = Matrix::from_rows(&[&[1.0, 0.0, 1.0]]);
+        let x = tape.leaf(logits.clone());
+        let loss = x.bce_with_logits(&targets);
+        let lv = loss.value();
+        for i in 0..3 {
+            let p = ops::sigmoid_scalar(logits[(0, i)]);
+            let y = targets[(0, i)];
+            let naive = -(y * p.ln() + (1.0 - y) * (1.0 - p).ln());
+            assert!(
+                (lv[(0, i)] - naive).abs() < 1e-5,
+                "elem {i}: {} vs {naive}",
+                lv[(0, i)]
+            );
+        }
+    }
+
+    #[test]
+    fn embed_forward_gathers() {
+        let tape = Tape::new();
+        let table = tape.leaf(Matrix::from_rows(&[&[1.0, 2.0], &[3.0, 4.0], &[5.0, 6.0]]));
+        let e = table.embed(&[2, 2, 0]);
+        assert_eq!(e.value().row(0), &[5.0, 6.0]);
+        assert_eq!(e.value().row(2), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn embed_backward_scatter_adds() {
+        let tape = Tape::new();
+        let table = tape.leaf(Matrix::zeros(3, 2));
+        let loss = table.embed(&[1, 1, 0]).sum_all();
+        let grads = tape.backward(loss);
+        let gt = grads.get(table).unwrap();
+        assert_close(
+            gt,
+            &Matrix::from_rows(&[&[1.0, 1.0], &[2.0, 2.0], &[0.0, 0.0]]),
+            1e-6,
+            1e-7,
+        );
+    }
+
+    #[test]
+    fn concat_and_slice_are_inverse() {
+        let tape = Tape::new();
+        let a = tape.leaf(Matrix::from_rows(&[&[1.0], &[2.0]]));
+        let b = tape.leaf(Matrix::from_rows(&[&[3.0, 4.0], &[5.0, 6.0]]));
+        let c = Var::concat_cols(&[a, b]);
+        assert_eq!(c.value().row(1), &[2.0, 5.0, 6.0]);
+        let s = c.slice_cols(1, 3);
+        assert_eq!(s.value(), b.value());
+    }
+}

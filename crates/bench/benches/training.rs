@@ -1,0 +1,78 @@
+//! Training-step throughput for every model in the zoo — the cost side
+//! of the paper's Table 2 comparison ("the computational complexity of
+//! 4-MMoE is approximately the same as the MoE-based model ...").
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use amoe_core::ranker::OptimConfig;
+use amoe_core::{DnnModel, MmoeModel, MoeConfig, MoeModel, Ranker};
+use amoe_dataset::buckets::equal_count_task_buckets;
+use amoe_dataset::{generate, Batch, GeneratorConfig};
+
+fn setup() -> (amoe_dataset::Dataset, Batch) {
+    let d = generate(&GeneratorConfig::tiny(77));
+    let idx: Vec<usize> = (0..256.min(d.train.len())).collect();
+    let batch = Batch::from_split(&d.train, &idx);
+    (d, batch)
+}
+
+fn bench_train_step(c: &mut Criterion) {
+    let (d, batch) = setup();
+    let optim = OptimConfig::default();
+    let base = MoeConfig::default();
+    let mut group = c.benchmark_group("train_step_b256");
+    group.sample_size(20);
+
+    let mut dnn = DnnModel::new(&d.meta, &base, optim);
+    group.bench_function("DNN", |b| {
+        b.iter(|| black_box(dnn.train_step(&batch)));
+    });
+
+    for (label, cfg) in [
+        ("MoE", MoeConfig::moe()),
+        ("Adv-MoE", MoeConfig::adv_moe()),
+        ("HSC-MoE", MoeConfig::hsc_moe()),
+        ("Adv&HSC-MoE", MoeConfig::adv_hsc_moe()),
+    ] {
+        let mut model = MoeModel::new(&d.meta, cfg, optim);
+        group.bench_function(label, |b| {
+            b.iter(|| black_box(model.train_step(&batch)));
+        });
+    }
+
+    let tasks = equal_count_task_buckets(&d.train, d.hierarchy.num_tc(), 10);
+    for n in [4usize, 10] {
+        let mut mmoe = MmoeModel::new(&d.meta, &base, n, tasks.clone(), optim);
+        group.bench_function(BenchmarkId::new("MMoE", n), |b| {
+            b.iter(|| black_box(mmoe.train_step(&batch)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_train_step_vs_n(c: &mut Criterion) {
+    // Dense training cost grows with N (all experts computed); the
+    // companion `serving` bench shows the sparse path does not.
+    let (d, batch) = setup();
+    let optim = OptimConfig::default();
+    let mut group = c.benchmark_group("train_step_vs_n");
+    group.sample_size(15);
+    for n in [10usize, 16, 32] {
+        let cfg = MoeConfig {
+            n_experts: n,
+            top_k: 4,
+            adversarial: true,
+            hsc: true,
+            ..MoeConfig::default()
+        };
+        let mut model = MoeModel::new(&d.meta, cfg, optim);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
+            b.iter(|| black_box(model.train_step(&batch)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_step, bench_train_step_vs_n);
+criterion_main!(benches);

@@ -1,0 +1,6 @@
+//! Runs the design-choice ablations (noisy gating, load balance, the
+//! two regularizers) for the Adv & HSC-MoE model.
+fn main() {
+    let cli = amoe_bench::parse_cli("ablations");
+    println!("{}", amoe_experiments::ablations::run(&cli.config));
+}

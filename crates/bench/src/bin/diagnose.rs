@@ -1,0 +1,56 @@
+//! Diagnostics for the HSC/Adv mechanisms: gate specialization by
+//! category and per-size-bucket AUC. Scratch tool, not a paper artefact.
+
+use amoe_core::{MoeConfig, MoeModel, Trainer};
+use amoe_dataset::buckets::size_buckets;
+use amoe_dataset::Batch;
+use amoe_metrics::silhouette_score;
+use amoe_tensor::Rng;
+
+fn main() {
+    let cli = amoe_bench::parse_cli("diagnose");
+    let cfg = &cli.config;
+    let dataset = cfg.dataset();
+    let trainer = Trainer::new(cfg.train_config());
+    let o = cfg.optim;
+    let base = cfg.moe_config();
+
+    let (members, totals) = size_buckets(&dataset.train, dataset.hierarchy.num_tc(), 4);
+    eprintln!("bucket sizes: {totals:?}");
+    let bucket_tests: Vec<_> = members.iter().map(|tcs| dataset.test.filter_tcs(tcs)).collect();
+
+    // Sample for gate clustering.
+    let mut rng = Rng::seed_from(999);
+    let n_sample = 400.min(dataset.test.len());
+    let idx = rng.sample_distinct(dataset.test.len(), n_sample);
+    let tc_labels: Vec<usize> = idx.iter().map(|&i| dataset.test.examples[i].true_tc).collect();
+    let batch = Batch::from_split(&dataset.test, &idx);
+
+    let probe = |label: &str, mc: MoeConfig| {
+        let mut m = MoeModel::new(&dataset.meta, mc, o);
+        trainer.fit(&mut m, &dataset.train);
+        let r = trainer.evaluate(&m, &dataset.test);
+        let gate = m.gate_probs_full(&batch);
+        let sil = silhouette_score(&gate, &tc_labels).unwrap_or(f64::NAN);
+        let bucket_auc: Vec<String> = bucket_tests
+            .iter()
+            .map(|s| format!("{:.4}", trainer.evaluate(&m, s).auc))
+            .collect();
+        println!(
+            "{label:<22} AUC {:.4} NDCG {:.4} | gate-sil(TC) {sil:+.3} | bucket AUC {}",
+            r.auc, r.ndcg, bucket_auc.join(" ")
+        );
+    };
+
+    probe("MoE", base.clone());
+    probe("HSC-MoE l1=1e-2", MoeConfig { hsc: true, lambda1: 1e-2, ..base.clone() });
+    probe("HSC-MoE l1=1e-1", MoeConfig { hsc: true, lambda1: 1e-1, ..base.clone() });
+    probe("MoE K=2", MoeConfig { top_k: 2, ..base.clone() });
+    probe("HSC K=2 l1=1e-2", MoeConfig { top_k: 2, hsc: true, lambda1: 1e-2, ..base.clone() });
+    probe("MoE nolb", MoeConfig { load_balance: 0.0, ..base.clone() });
+    probe("MoE nonoise", MoeConfig { noisy_gating: false, ..base.clone() });
+    probe(
+        "HSC nonoise l1=1e-2",
+        MoeConfig { noisy_gating: false, hsc: true, lambda1: 1e-2, ..base },
+    );
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 2 (feature importance inter vs intra category).
+fn main() {
+    let cli = amoe_bench::parse_cli("fig2");
+    println!("{}", amoe_experiments::fig2::run(&cli.config));
+}

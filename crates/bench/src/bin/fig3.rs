@@ -1,0 +1,5 @@
+//! Regenerates Figure 3 (brand sales concentration).
+fn main() {
+    let cli = amoe_bench::parse_cli("fig3");
+    println!("{}", amoe_experiments::fig3::run(&cli.config));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Figure 5 (AUC gains by category-size bucket).
+fn main() {
+    let cli = amoe_bench::parse_cli("fig5");
+    println!("{}", amoe_experiments::fig5::run(&cli.config));
+}

@@ -1,0 +1,10 @@
+//! Regenerates Figure 6 + Table 4 (gate-vector t-SNE clustering).
+fn main() {
+    let cli = amoe_bench::parse_cli("fig6");
+    let fig = amoe_experiments::fig6::run(&cli.config);
+    println!("{fig}");
+    match fig.write_csv(&cli.out_dir) {
+        Ok(()) => println!("2-D points written to {}/fig6_*.csv", cli.out_dir.display()),
+        Err(e) => eprintln!("could not write CSVs: {e}"),
+    }
+}

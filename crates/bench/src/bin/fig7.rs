@@ -1,0 +1,5 @@
+//! Regenerates Figure 7 ((N, K, D) hyper-parameter sweep).
+fn main() {
+    let cli = amoe_bench::parse_cli("fig7");
+    println!("{}", amoe_experiments::fig7::run(&cli.config));
+}

@@ -1,0 +1,31 @@
+//! Runs the complete reproduction: every table and figure, sharing one
+//! trained model zoo where the paper reuses the same models.
+use amoe_experiments::{case_study, fig2, fig3, fig5, fig6, fig7, table1, table2, table3, table5, table6};
+
+fn main() {
+    let cli = amoe_bench::parse_cli("repro_all");
+    let cfg = &cli.config;
+    let t0 = std::time::Instant::now();
+
+    println!("{}\n", table1::run(cfg));
+    println!("{}\n", fig2::run(cfg));
+    println!("{}\n", fig3::run(cfg));
+
+    eprintln!("== training the 7-model zoo ({} seed(s)) ==", cfg.n_seeds);
+    let (t2, zoo) = table2::run_with_zoo(cfg);
+    println!("{t2}\n");
+    println!("{}\n", fig5::evaluate(cfg, &zoo));
+    let f6 = fig6::evaluate(cfg, &zoo);
+    println!("{f6}\n");
+    if let Err(e) = f6.write_csv(&cli.out_dir) {
+        eprintln!("could not write fig6 CSVs: {e}");
+    }
+    println!("{}\n", case_study::evaluate(&zoo));
+
+    println!("{}\n", table3::run(cfg));
+    println!("{}\n", table5::run(cfg));
+    println!("{}\n", table6::run(cfg));
+    println!("{}\n", fig7::run(cfg));
+
+    eprintln!("total reproduction time: {:.1}s", t0.elapsed().as_secs_f64());
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 1 (dataset statistics).
+fn main() {
+    let cli = amoe_bench::parse_cli("table1");
+    println!("{}", amoe_experiments::table1::run(&cli.config));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 2 (seven-model full evaluation).
+fn main() {
+    let cli = amoe_bench::parse_cli("table2");
+    println!("{}", amoe_experiments::table2::run(&cli.config));
+}

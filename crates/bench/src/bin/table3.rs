@@ -1,0 +1,5 @@
+//! Regenerates Table 3 (cross-category transfer).
+fn main() {
+    let cli = amoe_bench::parse_cli("table3");
+    println!("{}", amoe_experiments::table3::run(&cli.config));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 5 (gate-input-feature ablation).
+fn main() {
+    let cli = amoe_bench::parse_cli("table5");
+    println!("{}", amoe_experiments::table5::run(&cli.config));
+}

@@ -1,0 +1,5 @@
+//! Regenerates Table 6 (lambda1 x lambda2 grid search).
+fn main() {
+    let cli = amoe_bench::parse_cli("table6");
+    println!("{}", amoe_experiments::table6::run(&cli.config));
+}

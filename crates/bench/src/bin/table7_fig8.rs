@@ -1,0 +1,5 @@
+//! Regenerates Table 7 / Figure 8 (per-expert case study).
+fn main() {
+    let cli = amoe_bench::parse_cli("table7_fig8");
+    println!("{}", amoe_experiments::case_study::run(&cli.config));
+}

@@ -1,0 +1,207 @@
+//! Post-training analysis of gate behaviour and expert specialisation —
+//! the library form of the inspection the paper does in Sec. 5.3 and
+//! Fig. 6 (which experts each category activates and how decisively).
+
+use std::collections::HashMap;
+
+use amoe_dataset::{Batch, Split};
+use amoe_tensor::Matrix;
+
+use crate::models::MoeModel;
+
+/// Mean full-support gate distribution per top-category, plus each
+/// category's favourite (highest mean probability) experts.
+pub struct GateProfile {
+    /// `num_tc x n_experts` mean gate probabilities.
+    pub mean_probs: Matrix,
+    /// Number of examples that contributed per top-category.
+    pub support: Vec<usize>,
+}
+
+impl GateProfile {
+    /// The `k` experts a top-category relies on most.
+    #[must_use]
+    pub fn top_experts(&self, tc: usize, k: usize) -> Vec<usize> {
+        amoe_tensor::topk::top_k_indices(self.mean_probs.row(tc), k)
+    }
+
+    /// Jaccard overlap of two categories' top-`k` expert sets — the
+    /// quantity HSC is designed to raise for siblings.
+    #[must_use]
+    pub fn expert_overlap(&self, tc_a: usize, tc_b: usize, k: usize) -> f64 {
+        let a = self.top_experts(tc_a, k);
+        let b = self.top_experts(tc_b, k);
+        let inter = a.iter().filter(|e| b.contains(e)).count();
+        inter as f64 / (a.len() + b.len() - inter) as f64
+    }
+}
+
+/// Computes the per-top-category gate profile of a trained model over
+/// (up to `max_per_tc` examples of) a split.
+///
+/// # Panics
+/// Panics if the split is empty.
+#[must_use]
+pub fn gate_profile(
+    model: &MoeModel,
+    split: &Split,
+    num_tc: usize,
+    max_per_tc: usize,
+) -> GateProfile {
+    assert!(!split.is_empty(), "gate_profile: empty split");
+    let mut by_tc: HashMap<usize, Vec<usize>> = HashMap::new();
+    for (i, e) in split.examples.iter().enumerate() {
+        let bucket = by_tc.entry(e.true_tc).or_default();
+        if bucket.len() < max_per_tc {
+            bucket.push(i);
+        }
+    }
+    let n = model.config().n_experts;
+    let mut mean_probs = Matrix::zeros(num_tc, n);
+    let mut support = vec![0usize; num_tc];
+    for (&tc, idx) in &by_tc {
+        if idx.is_empty() {
+            continue;
+        }
+        let batch = Batch::from_split(split, idx);
+        let probs = model.gate_probs_full(&batch);
+        let dst = mean_probs.row_mut(tc);
+        for r in 0..probs.rows() {
+            for (d, &v) in dst.iter_mut().zip(probs.row(r)) {
+                *d += v / probs.rows() as f32;
+            }
+        }
+        support[tc] = idx.len();
+    }
+    GateProfile {
+        mean_probs,
+        support,
+    }
+}
+
+/// Summary statistics of expert-to-category specialisation.
+#[derive(Clone, Debug)]
+pub struct SpecializationReport {
+    /// Mean top-K expert overlap (Jaccard) between *sibling-class* TC
+    /// pairs (same semantic grouping would need the hierarchy; here:
+    /// all pairs are reported separately).
+    pub mean_overlap_all_pairs: f64,
+    /// Mean entropy of the per-TC mean gate distribution (low =
+    /// decisive routing).
+    pub mean_gate_entropy: f64,
+}
+
+/// Computes specialisation statistics from a gate profile.
+#[must_use]
+pub fn specialization_report(profile: &GateProfile, k: usize) -> SpecializationReport {
+    let num_tc = profile.mean_probs.rows();
+    let mut overlap = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..num_tc {
+        for b in a + 1..num_tc {
+            if profile.support[a] == 0 || profile.support[b] == 0 {
+                continue;
+            }
+            overlap += profile.expert_overlap(a, b, k);
+            pairs += 1;
+        }
+    }
+    let mut entropy = 0.0;
+    let mut counted = 0usize;
+    for tc in 0..num_tc {
+        if profile.support[tc] == 0 {
+            continue;
+        }
+        let h: f64 = profile
+            .mean_probs
+            .row(tc)
+            .iter()
+            .filter(|&&p| p > 0.0)
+            .map(|&p| -f64::from(p) * f64::from(p).ln())
+            .sum();
+        entropy += h;
+        counted += 1;
+    }
+    SpecializationReport {
+        mean_overlap_all_pairs: overlap / pairs.max(1) as f64,
+        mean_gate_entropy: entropy / counted.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MoeConfig, TowerConfig};
+    use crate::ranker::{OptimConfig, Ranker};
+    use amoe_dataset::{generate, GeneratorConfig};
+
+    fn trained() -> (amoe_dataset::Dataset, MoeModel) {
+        let d = generate(&GeneratorConfig {
+            train_sessions: 400,
+            test_sessions: 120,
+            ..GeneratorConfig::tiny(77)
+        });
+        let cfg = MoeConfig {
+            n_experts: 6,
+            top_k: 2,
+            tower: TowerConfig { hidden: vec![12, 6] },
+            ..MoeConfig::default()
+        };
+        let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..256).collect::<Vec<_>>());
+        for _ in 0..10 {
+            m.train_step(&batch);
+        }
+        (d, m)
+    }
+
+    #[test]
+    fn profile_rows_are_distributions() {
+        let (d, m) = trained();
+        let p = gate_profile(&m, &d.test, d.hierarchy.num_tc(), 100);
+        for tc in 0..d.hierarchy.num_tc() {
+            if p.support[tc] == 0 {
+                continue;
+            }
+            let sum: f32 = p.mean_probs.row(tc).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-4, "tc {tc}: {sum}");
+        }
+    }
+
+    #[test]
+    fn top_experts_sorted_by_mass() {
+        let (d, m) = trained();
+        let p = gate_profile(&m, &d.test, d.hierarchy.num_tc(), 100);
+        let tc = (0..d.hierarchy.num_tc())
+            .find(|&t| p.support[t] > 0)
+            .unwrap();
+        let top = p.top_experts(tc, 3);
+        assert_eq!(top.len(), 3);
+        assert!(p.mean_probs[(tc, top[0])] >= p.mean_probs[(tc, top[1])]);
+    }
+
+    #[test]
+    fn overlap_bounds() {
+        let (d, m) = trained();
+        let p = gate_profile(&m, &d.test, d.hierarchy.num_tc(), 100);
+        let tcs: Vec<usize> = (0..d.hierarchy.num_tc())
+            .filter(|&t| p.support[t] > 0)
+            .take(2)
+            .collect();
+        if tcs.len() == 2 {
+            let o = p.expert_overlap(tcs[0], tcs[1], 2);
+            assert!((0.0..=1.0).contains(&o));
+            assert!((p.expert_overlap(tcs[0], tcs[0], 2) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn specialization_report_sane() {
+        let (d, m) = trained();
+        let p = gate_profile(&m, &d.test, d.hierarchy.num_tc(), 100);
+        let r = specialization_report(&p, 2);
+        assert!((0.0..=1.0).contains(&r.mean_overlap_all_pairs));
+        let max_entropy = (m.config().n_experts as f64).ln();
+        assert!(r.mean_gate_entropy >= 0.0 && r.mean_gate_entropy <= max_entropy + 1e-9);
+    }
+}

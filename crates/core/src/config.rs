@@ -1,0 +1,252 @@
+//! Model configuration.
+
+use amoe_dataset::DatasetMeta;
+
+/// Which features feed the inference gate (paper Table 5 ablation).
+///
+/// The paper's finding — reproduced by the `table5` experiment — is that
+/// the sub-category embedding **alone** works best: query-side purity
+/// guarantees one expert set per query session, and extra features inject
+/// noise that activates the wrong experts.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum GateInput {
+    /// Sub-category embedding only (the paper's default).
+    Sc,
+    /// Top-category + sub-category embeddings.
+    TcSc,
+    /// Query id + TC + SC embeddings.
+    QueryTcSc,
+    /// User segment + TC + SC embeddings.
+    UserTcSc,
+    /// Everything the main tower sees (embeddings + numeric features).
+    All,
+}
+
+/// Expert/DNN tower shape.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TowerConfig {
+    /// Hidden layer widths (the output layer of width 1 is implicit).
+    /// Paper: `[512, 256]`; scaled default `[32, 16]`.
+    pub hidden: Vec<usize>,
+}
+
+impl Default for TowerConfig {
+    fn default() -> Self {
+        TowerConfig {
+            hidden: vec![32, 16],
+        }
+    }
+}
+
+/// Full configuration of the MoE family (and the DNN/MMoE baselines,
+/// which reuse the shared fields).
+#[derive(Clone, Debug)]
+pub struct MoeConfig {
+    /// Total number of expert towers `N` (paper default 10).
+    pub n_experts: usize,
+    /// Active experts per example `K` (paper default 4).
+    pub top_k: usize,
+    /// Disagreeing experts per example `D` (paper default 1); only used
+    /// when `adversarial` is set.
+    pub n_adversarial: usize,
+    /// Enables the adversarial regularizer (Adv-MoE, Adv & HSC-MoE).
+    pub adversarial: bool,
+    /// Enables the Hierarchical Soft Constraint (HSC-MoE, Adv & HSC-MoE).
+    pub hsc: bool,
+    /// λ₁, the HSC weight in the objective (paper default 1e-3).
+    pub lambda1: f32,
+    /// λ₂, the AdvLoss weight in the objective (paper default 1e-3).
+    pub lambda2: f32,
+    /// Weight of the Shazeer-style load-balancing (importance CV²) loss;
+    /// 0 disables. The paper inherits the mechanism from its ref \[24\].
+    pub load_balance: f32,
+    /// Trainable noisy gating (Noisy Top-K, Shazeer Eq. 4); disabled at
+    /// evaluation time automatically.
+    pub noisy_gating: bool,
+    /// Embedding dimension for every sparse feature (paper: 16; ours: 8).
+    pub emb_dim: usize,
+    /// Expert tower shape.
+    pub tower: TowerConfig,
+    /// Gate input features (Table 5 ablation; default SC only).
+    pub gate_input: GateInput,
+    /// Parameter-initialisation / noise seed.
+    pub seed: u64,
+}
+
+impl Default for MoeConfig {
+    fn default() -> Self {
+        MoeConfig {
+            n_experts: 10,
+            top_k: 4,
+            n_adversarial: 1,
+            adversarial: false,
+            hsc: false,
+            lambda1: 1e-3,
+            lambda2: 1e-3,
+            load_balance: 1e-2,
+            noisy_gating: true,
+            emb_dim: 8,
+            tower: TowerConfig::default(),
+            gate_input: GateInput::Sc,
+            seed: 17,
+        }
+    }
+}
+
+impl MoeConfig {
+    /// The plain MoE baseline.
+    #[must_use]
+    pub fn moe() -> Self {
+        Self::default()
+    }
+
+    /// Adv-MoE: adversarial regularization only.
+    #[must_use]
+    pub fn adv_moe() -> Self {
+        MoeConfig {
+            adversarial: true,
+            ..Self::default()
+        }
+    }
+
+    /// HSC-MoE: hierarchical soft constraint only.
+    #[must_use]
+    pub fn hsc_moe() -> Self {
+        MoeConfig {
+            hsc: true,
+            ..Self::default()
+        }
+    }
+
+    /// Adv & HSC-MoE: the paper's best candidate.
+    #[must_use]
+    pub fn adv_hsc_moe() -> Self {
+        MoeConfig {
+            adversarial: true,
+            hsc: true,
+            ..Self::default()
+        }
+    }
+
+    /// Returns the config with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates against a dataset's vocabulary metadata.
+    ///
+    /// # Panics
+    /// Panics on inconsistent settings.
+    pub fn validate(&self, meta: &DatasetMeta) {
+        assert!(self.n_experts >= 2, "need at least 2 experts");
+        assert!(
+            self.top_k >= 1 && self.top_k <= self.n_experts,
+            "top_k {} out of 1..={}",
+            self.top_k,
+            self.n_experts
+        );
+        if self.adversarial {
+            assert!(
+                self.n_adversarial >= 1
+                    && self.n_adversarial <= self.n_experts - self.top_k,
+                "n_adversarial {} out of 1..={} (N - K idle experts)",
+                self.n_adversarial,
+                self.n_experts - self.top_k
+            );
+        }
+        assert!(self.lambda1 >= 0.0 && self.lambda2 >= 0.0 && self.load_balance >= 0.0);
+        assert!(self.emb_dim > 0, "emb_dim must be > 0");
+        assert!(!self.tower.hidden.is_empty(), "tower needs hidden layers");
+        assert!(meta.sc_vocab > 0 && meta.tc_vocab > 0);
+    }
+
+    /// Width of the model input vector `X` (Eq. 2): five sparse features
+    /// embedded at `emb_dim` plus the numeric features.
+    #[must_use]
+    pub fn input_dim(&self, meta: &DatasetMeta) -> usize {
+        5 * self.emb_dim + meta.n_numeric
+    }
+
+    /// Width of the inference-gate input under the configured ablation.
+    #[must_use]
+    pub fn gate_input_dim(&self, meta: &DatasetMeta) -> usize {
+        match self.gate_input {
+            GateInput::Sc => self.emb_dim,
+            GateInput::TcSc => 2 * self.emb_dim,
+            GateInput::QueryTcSc | GateInput::UserTcSc => 3 * self.emb_dim,
+            GateInput::All => self.input_dim(meta) + self.emb_dim, // + TC emb
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> DatasetMeta {
+        DatasetMeta {
+            sc_vocab: 96,
+            tc_vocab: 12,
+            brand_vocab: 1000,
+            shop_vocab: 100,
+            user_segment_vocab: 8,
+            price_bucket_vocab: 10,
+            query_vocab: 500,
+            n_numeric: 8,
+        }
+    }
+
+    #[test]
+    fn presets_match_names() {
+        assert!(!MoeConfig::moe().adversarial && !MoeConfig::moe().hsc);
+        assert!(MoeConfig::adv_moe().adversarial && !MoeConfig::adv_moe().hsc);
+        assert!(!MoeConfig::hsc_moe().adversarial && MoeConfig::hsc_moe().hsc);
+        let best = MoeConfig::adv_hsc_moe();
+        assert!(best.adversarial && best.hsc);
+    }
+
+    #[test]
+    fn default_validates() {
+        MoeConfig::adv_hsc_moe().validate(&meta());
+    }
+
+    #[test]
+    #[should_panic(expected = "top_k")]
+    fn k_above_n_panics() {
+        let cfg = MoeConfig {
+            n_experts: 4,
+            top_k: 5,
+            ..Default::default()
+        };
+        cfg.validate(&meta());
+    }
+
+    #[test]
+    #[should_panic(expected = "n_adversarial")]
+    fn too_many_adversarial_panics() {
+        let cfg = MoeConfig {
+            n_experts: 6,
+            top_k: 4,
+            n_adversarial: 3,
+            adversarial: true,
+            ..Default::default()
+        };
+        cfg.validate(&meta());
+    }
+
+    #[test]
+    fn input_dims() {
+        let cfg = MoeConfig::default();
+        let m = meta();
+        assert_eq!(cfg.input_dim(&m), 5 * 8 + 8);
+        assert_eq!(cfg.gate_input_dim(&m), 8);
+        let all = MoeConfig {
+            gate_input: GateInput::All,
+            ..Default::default()
+        };
+        // input X (48) plus the TC embedding (8).
+        assert_eq!(all.gate_input_dim(&m), 48 + 8);
+    }
+}

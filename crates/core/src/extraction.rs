@@ -1,0 +1,292 @@
+//! Category-dedicated model extraction.
+//!
+//! The paper's introduction motivates transparent expert↔category
+//! assignment because it "opens up the possibility for subsequent
+//! extraction and tweaking of category-dedicated models from the unified
+//! ensemble". This module implements that: [`extract_category_model`]
+//! reads the trained inference gate's distribution for one sub-category,
+//! freezes the top-K experts and their mixture weights, and yields a
+//! compact standalone scorer ([`CategoryModel`]) that serves that
+//! category without the gate networks or the other `N − K` towers.
+
+use amoe_dataset::Batch;
+use amoe_tensor::{ops, reduce, topk, Matrix};
+
+use crate::models::MoeModel;
+
+/// A compact, frozen, single-category scorer extracted from a trained
+/// [`MoeModel`]: the K experts the gate assigns to the category plus
+/// their (renormalised) mixture weights.
+pub struct CategoryModel {
+    /// The sub-category this model is dedicated to.
+    pub sc: usize,
+    /// Indices of the retained experts in the source ensemble.
+    pub expert_indices: Vec<usize>,
+    /// Mixture weight per retained expert (sums to 1).
+    pub weights: Vec<f32>,
+    /// Expert tower weights: for each retained expert, its layers as
+    /// `(w, b)` matrices, in forward order.
+    layers: Vec<Vec<(Matrix, Matrix)>>,
+    /// Snapshot of the embedding tables needed to assemble the input.
+    embeddings: ExtractedEmbeddings,
+}
+
+struct ExtractedEmbeddings {
+    sc: Matrix,
+    brand: Matrix,
+    shop: Matrix,
+    user_segment: Matrix,
+    price_bucket: Matrix,
+}
+
+/// Extracts a dedicated model for sub-category `sc` from a trained MoE.
+///
+/// The gate is evaluated once on the SC embedding (its true input in the
+/// deployed configuration); the top-K experts and their masked-softmax
+/// weights become the fixed mixture. Since the paper's gate depends only
+/// on the query's sub-category, this reproduces the ensemble's scoring
+/// for that category *exactly* (up to gate noise, which is off at
+/// serving time).
+///
+/// # Panics
+/// Panics if the model uses a non-SC gate input (no single per-category
+/// gate value exists then) or `sc` is out of vocabulary.
+#[must_use]
+pub fn extract_category_model(model: &MoeModel, sc: usize) -> CategoryModel {
+    assert!(
+        matches!(model.config().gate_input, crate::config::GateInput::Sc),
+        "extraction requires the SC-only gate input (the deployed configuration)"
+    );
+    let params = model.params();
+    let sc_table = params
+        .find("emb.sc.table")
+        .expect("SC embedding table exists");
+    let sc_vocab = params.value(sc_table).rows();
+    assert!(sc < sc_vocab, "sub-category {sc} out of vocabulary {sc_vocab}");
+
+    // Gate distribution for this SC.
+    let sc_emb = params.value(sc_table).gather_rows(&[sc]);
+    let logits = model.gate_logits_infer(&sc_emb);
+    let k = model.config().top_k;
+    let expert_indices = topk::top_k_indices(logits.row(0), k);
+    let max = logits[(0, expert_indices[0])];
+    let mut weights: Vec<f32> = expert_indices
+        .iter()
+        .map(|&e| (logits[(0, e)] - max).exp())
+        .collect();
+    let wsum: f32 = weights.iter().sum();
+    weights.iter_mut().for_each(|w| *w /= wsum);
+
+    // Snapshot retained expert towers.
+    let layers = expert_indices
+        .iter()
+        .map(|&e| {
+            model.experts()[e]
+                .layers()
+                .iter()
+                .map(|l| {
+                    let w = params.value(l.weight()).clone();
+                    let b = l
+                        .bias()
+                        .map(|b| params.value(b).clone())
+                        .expect("expert layers have biases");
+                    (w, b)
+                })
+                .collect()
+        })
+        .collect();
+
+    let table = |name: &str| params.value(params.find(name).expect(name)).clone();
+    CategoryModel {
+        sc,
+        expert_indices,
+        weights,
+        layers,
+        embeddings: ExtractedEmbeddings {
+            sc: table("emb.sc.table"),
+            brand: table("emb.brand.table"),
+            shop: table("emb.shop.table"),
+            user_segment: table("emb.user_segment.table"),
+            price_bucket: table("emb.price_bucket.table"),
+        },
+    }
+}
+
+impl CategoryModel {
+    /// Scalar parameter count of the extracted model (for comparing
+    /// against the full ensemble).
+    #[must_use]
+    pub fn num_parameters(&self) -> usize {
+        let towers: usize = self
+            .layers
+            .iter()
+            .flat_map(|t| t.iter().map(|(w, b)| w.len() + b.len()))
+            .sum();
+        let emb = self.embeddings.sc.len()
+            + self.embeddings.brand.len()
+            + self.embeddings.shop.len()
+            + self.embeddings.user_segment.len()
+            + self.embeddings.price_bucket.len();
+        towers + emb
+    }
+
+    /// Predicted purchase probabilities for a batch of candidates in the
+    /// dedicated category.
+    #[must_use]
+    pub fn predict(&self, batch: &Batch) -> Vec<f32> {
+        ops::sigmoid(&Matrix::from_vec(batch.len(), 1, self.predict_logits(batch))).into_vec()
+    }
+
+    /// Raw ensemble logits under the frozen mixture.
+    #[must_use]
+    pub fn predict_logits(&self, batch: &Batch) -> Vec<f32> {
+        let e = &self.embeddings;
+        let x = Matrix::hcat(&[
+            &e.sc.gather_rows(&batch.sc),
+            &e.brand.gather_rows(&batch.brand),
+            &e.shop.gather_rows(&batch.shop),
+            &e.user_segment.gather_rows(&batch.user_segment),
+            &e.price_bucket.gather_rows(&batch.price_bucket),
+            &batch.numeric,
+        ]);
+        let mut out = Matrix::zeros(batch.len(), 1);
+        for (tower, &w) in self.layers.iter().zip(&self.weights) {
+            let mut h = x.clone();
+            for (i, (wm, bm)) in tower.iter().enumerate() {
+                h = ops::add_row_broadcast(&amoe_tensor::matmul::matmul(&h, wm), bm);
+                if i + 1 < tower.len() {
+                    h = ops::relu(&h);
+                }
+            }
+            ops::axpy(&mut out, w, &h);
+        }
+        out.into_vec()
+    }
+
+    /// Mean mixture entropy — a diagnostic for how decisively the gate
+    /// assigned this category (low entropy = concentrated on few experts).
+    #[must_use]
+    pub fn mixture_entropy(&self) -> f64 {
+        -self
+            .weights
+            .iter()
+            .filter(|&&w| w > 0.0)
+            .map(|&w| f64::from(w) * f64::from(w).ln())
+            .sum::<f64>()
+    }
+}
+
+/// Agreement between the extracted model and the full ensemble on a
+/// batch from the dedicated category: maximum absolute score difference.
+#[must_use]
+pub fn extraction_fidelity(model: &MoeModel, extracted: &CategoryModel, batch: &Batch) -> f32 {
+    use crate::ranker::Ranker as _;
+    let full = model.predict(batch);
+    let compact = extracted.predict(batch);
+    full.iter()
+        .zip(&compact)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0, f32::max)
+}
+
+/// Convenience: per-expert usage share across a set of categories —
+/// `reduce::col_mean` of the gate distribution over all SC embeddings.
+/// Useful for auditing which experts a deployment could prune.
+#[must_use]
+pub fn expert_usage(model: &MoeModel) -> Vec<f32> {
+    let params = model.params();
+    let sc_table = params.find("emb.sc.table").expect("SC table");
+    let all = params.value(sc_table).clone();
+    let logits = model.gate_logits_infer(&all);
+    let k = model.config().top_k;
+    let masked = topk::mask_non_topk_neg_inf(&logits, k);
+    let probs = ops::softmax_rows(&masked);
+    reduce::col_mean(&probs).into_vec()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MoeConfig, TowerConfig};
+    use crate::ranker::{OptimConfig, Ranker};
+    use amoe_dataset::{generate, GeneratorConfig};
+
+    fn trained() -> (amoe_dataset::Dataset, MoeModel) {
+        let d = generate(&GeneratorConfig::tiny(55));
+        let cfg = MoeConfig {
+            n_experts: 6,
+            top_k: 2,
+            tower: TowerConfig { hidden: vec![12, 6] },
+            ..MoeConfig::default()
+        };
+        let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let batch = amoe_dataset::Batch::from_split(&d.train, &(0..256).collect::<Vec<_>>());
+        for _ in 0..8 {
+            m.train_step(&batch);
+        }
+        (d, m)
+    }
+
+    /// Examples from the test split whose *predicted* SC (the gate
+    /// input) equals `sc`.
+    fn batch_for_sc(d: &amoe_dataset::Dataset, sc: usize) -> Option<amoe_dataset::Batch> {
+        let idx: Vec<usize> = d
+            .test
+            .examples
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.pred_sc == sc)
+            .map(|(i, _)| i)
+            .take(40)
+            .collect();
+        (idx.len() >= 5).then(|| amoe_dataset::Batch::from_split(&d.test, &idx))
+    }
+
+    #[test]
+    fn extraction_matches_full_model_exactly() {
+        let (d, m) = trained();
+        // Pick an SC that actually occurs in the test split.
+        let sc = d.test.examples[0].pred_sc;
+        let extracted = extract_category_model(&m, sc);
+        let batch = batch_for_sc(&d, sc).expect("SC occurs in test data");
+        let fid = extraction_fidelity(&m, &extracted, &batch);
+        assert!(fid < 1e-5, "extracted model diverges by {fid}");
+    }
+
+    #[test]
+    fn extraction_is_smaller_than_ensemble() {
+        let (d, m) = trained();
+        let sc = d.test.examples[0].pred_sc;
+        let extracted = extract_category_model(&m, sc);
+        assert!(extracted.num_parameters() < m.num_parameters());
+        assert_eq!(extracted.expert_indices.len(), m.config().top_k);
+        let wsum: f32 = extracted.weights.iter().sum();
+        assert!((wsum - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn mixture_entropy_bounded() {
+        let (d, m) = trained();
+        let sc = d.test.examples[0].pred_sc;
+        let extracted = extract_category_model(&m, sc);
+        let h = extracted.mixture_entropy();
+        let max_h = (m.config().top_k as f64).ln();
+        assert!(h >= 0.0 && h <= max_h + 1e-9, "entropy {h} out of [0, {max_h}]");
+    }
+
+    #[test]
+    fn expert_usage_is_distribution() {
+        let (_d, m) = trained();
+        let usage = expert_usage(&m);
+        assert_eq!(usage.len(), m.config().n_experts);
+        let total: f32 = usage.iter().sum();
+        assert!((total - 1.0).abs() < 1e-4, "usage sums to {total}");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of vocabulary")]
+    fn bad_sc_panics() {
+        let (_d, m) = trained();
+        let _ = extract_category_model(&m, 10_000);
+    }
+}

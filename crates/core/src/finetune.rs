@@ -1,0 +1,213 @@
+//! Per-expert fine-tuning (the paper's Sec. 6 future-work item:
+//! "fine-tune individual expert models to suit evolving business
+//! requirement or training data ... assess transfer learning potential
+//! based on the component expert models").
+//!
+//! [`FineTuner`] continues training a [`MoeModel`] on a (typically
+//! single-category) split while freezing everything except a chosen set
+//! of expert towers — gradients of frozen parameters are zeroed before
+//! each optimizer step, so gates, embeddings and the other experts stay
+//! exactly as the base model left them.
+
+use amoe_dataset::{Batch, Batcher, Split};
+use amoe_nn::optim::{Adam, Optimizer};
+
+use crate::models::MoeModel;
+use crate::ranker::StepStats;
+
+/// Fine-tunes a subset of experts of a trained MoE.
+pub struct FineTuner {
+    /// Parameter-name prefixes that stay trainable (e.g. `"expert3."`);
+    /// everything else is frozen.
+    trainable_prefixes: Vec<String>,
+    optimizer: Adam,
+}
+
+impl FineTuner {
+    /// Fine-tunes exactly the given expert towers.
+    ///
+    /// # Panics
+    /// Panics if `experts` is empty or any index exceeds the model's
+    /// expert count.
+    #[must_use]
+    pub fn for_experts(model: &MoeModel, experts: &[usize], lr: f32) -> Self {
+        assert!(!experts.is_empty(), "FineTuner: no experts selected");
+        let n = model.config().n_experts;
+        for &e in experts {
+            assert!(e < n, "FineTuner: expert {e} out of {n}");
+        }
+        FineTuner {
+            trainable_prefixes: experts.iter().map(|e| format!("expert{e}.")).collect(),
+            optimizer: Adam::adamw(lr, 0.0),
+        }
+    }
+
+    /// The experts a trained gate assigns to sub-category `sc` — the
+    /// natural fine-tuning set when adapting the model to that category.
+    #[must_use]
+    pub fn for_category(model: &MoeModel, sc: usize, lr: f32) -> Self {
+        let extracted = crate::extraction::extract_category_model(model, sc);
+        Self::for_experts(model, &extracted.expert_indices, lr)
+    }
+
+    /// Whether a parameter name is trainable under this tuner.
+    #[must_use]
+    pub fn is_trainable(&self, name: &str) -> bool {
+        self.trainable_prefixes.iter().any(|p| name.starts_with(p))
+    }
+
+    /// One fine-tuning step: full forward/backward, then gradients of
+    /// every frozen parameter are zeroed before the update.
+    pub fn step(&mut self, model: &mut MoeModel, batch: &Batch) -> StepStats {
+        // Run the model's usual step logic up to gradient collection by
+        // reusing train_step's machinery would also step the model's own
+        // optimizer; instead we re-do the pass explicitly here.
+        let stats = model.accumulate_gradients(batch);
+        let params = model.params_mut();
+        for i in 0..params.len() {
+            let id = amoe_nn::ParamId::from_index(i);
+            if !self.is_trainable(params.name(id)) {
+                let g = params.grad_mut(id);
+                g.fill(0.0);
+            }
+        }
+        self.optimizer.step(params);
+        stats
+    }
+
+    /// Fine-tunes for `epochs` passes over `split`.
+    pub fn fit(
+        &mut self,
+        model: &mut MoeModel,
+        split: &Split,
+        epochs: usize,
+        batch_size: usize,
+        seed: u64,
+    ) -> StepStats {
+        let mut batcher = Batcher::new(split, batch_size, seed);
+        let mut last = StepStats::default();
+        for _ in 0..epochs {
+            while let Some(idx) = batcher.next_batch() {
+                let batch = Batch::from_split(split, idx);
+                last = self.step(model, &batch);
+            }
+        }
+        last
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MoeConfig, TowerConfig};
+    use crate::ranker::OptimConfig;
+    use crate::trainer::{TrainConfig, Trainer};
+    use amoe_dataset::{generate, GeneratorConfig};
+
+    fn setup() -> (amoe_dataset::Dataset, MoeModel) {
+        let d = generate(&GeneratorConfig {
+            train_sessions: 500,
+            test_sessions: 150,
+            ..GeneratorConfig::tiny(66)
+        });
+        let cfg = MoeConfig {
+            n_experts: 6,
+            top_k: 2,
+            tower: TowerConfig { hidden: vec![12, 6] },
+            ..MoeConfig::default()
+        };
+        let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let t = Trainer::new(TrainConfig {
+            epochs: 2,
+            ..TrainConfig::default()
+        });
+        t.fit(&mut m, &d.train);
+        (d, m)
+    }
+
+    #[test]
+    fn frozen_parameters_do_not_move() {
+        let (d, mut m) = setup();
+        let gate_before = m
+            .params()
+            .value(m.params().find("gate.inference.w").unwrap())
+            .clone();
+        let expert0_before = m
+            .params()
+            .value(m.params().find("expert0.l0.w").unwrap())
+            .clone();
+        let expert1_before = m
+            .params()
+            .value(m.params().find("expert1.l0.w").unwrap())
+            .clone();
+
+        let mut tuner = FineTuner::for_experts(&m, &[1], 1e-3);
+        tuner.fit(&mut m, &d.train, 1, 128, 9);
+
+        let gate_after = m
+            .params()
+            .value(m.params().find("gate.inference.w").unwrap())
+            .clone();
+        let expert0_after = m
+            .params()
+            .value(m.params().find("expert0.l0.w").unwrap())
+            .clone();
+        let expert1_after = m
+            .params()
+            .value(m.params().find("expert1.l0.w").unwrap())
+            .clone();
+
+        assert_eq!(gate_before, gate_after, "gate moved while frozen");
+        assert_eq!(expert0_before, expert0_after, "frozen expert moved");
+        assert_ne!(expert1_before, expert1_after, "trainable expert frozen");
+    }
+
+    #[test]
+    fn category_finetuning_improves_that_category() {
+        let (d, mut m) = setup();
+        // Most common predicted SC in the training split.
+        let mut counts = vec![0usize; d.meta.sc_vocab];
+        for e in &d.train.examples {
+            counts[e.pred_sc] += 1;
+        }
+        let sc = counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, _)| i)
+            .unwrap();
+        let tc = d.hierarchy.parent(sc);
+        let cat_train = d.train.filter_tcs(&[tc]);
+        let cat_test = d.test.filter_tcs(&[tc]);
+        if cat_test.is_empty() || cat_train.is_empty() {
+            return; // tiny dataset edge case
+        }
+        let t = Trainer::new(TrainConfig::default());
+        let before = t.evaluate(&m, &cat_test).log_loss;
+        let mut tuner = FineTuner::for_category(&m, sc, 1e-3);
+        tuner.fit(&mut m, &cat_train, 2, 128, 10);
+        let after = t.evaluate(&m, &cat_test).log_loss;
+        assert!(
+            after < before + 0.02,
+            "fine-tuning should not hurt the target category: {before:.4} -> {after:.4}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_expert_index_panics() {
+        let (_d, m) = setup();
+        let _ = FineTuner::for_experts(&m, &[99], 1e-3);
+    }
+
+    #[test]
+    fn is_trainable_prefix_logic() {
+        let (_d, m) = setup();
+        let tuner = FineTuner::for_experts(&m, &[2, 4], 1e-3);
+        assert!(tuner.is_trainable("expert2.l0.w"));
+        assert!(tuner.is_trainable("expert4.l1.b"));
+        assert!(!tuner.is_trainable("expert3.l0.w"));
+        assert!(!tuner.is_trainable("gate.inference.w"));
+        assert!(!tuner.is_trainable("emb.sc.table"));
+    }
+}

@@ -1,0 +1,252 @@
+//! Noisy Top-K gating (paper Sec. 4.2–4.3.1, following Shazeer et al.
+//! 2017, the paper's ref \[24\]).
+//!
+//! The inference gate is a single linear map from the gate input (the
+//! sub-category embedding by default) to `N` expert logits (Eq. 5).
+//! During training, Gaussian noise scaled by a *learned* softplus term is
+//! added before the top-K cut (Noisy Top-K Gating), which smooths expert
+//! assignment and lets gradient information reach near-miss experts.
+//! The top-K logits go through a masked softmax (Eq. 6–7); the rest get
+//! exactly zero probability.
+
+use amoe_autograd::{Tape, Var};
+use amoe_nn::{Bound, Init, ParamId, ParamSet};
+use amoe_tensor::{Matrix, Rng};
+
+/// A linear gate with optional trainable noise.
+pub struct NoisyTopKGate {
+    w: ParamId,
+    w_noise: Option<ParamId>,
+    n_experts: usize,
+}
+
+/// Everything downstream consumers need from one gating pass.
+pub struct GateOutput<'t> {
+    /// Raw (noise-free) gate logits `G(x) = x · W` — the input to the
+    /// full-support softmax used by the HSC terms (Eq. 9–10).
+    pub clean_logits: Var<'t>,
+    /// Noisy logits actually used for expert selection (equal to
+    /// `clean_logits` when noise is off).
+    pub noisy_logits: Var<'t>,
+    /// Masked-softmax probabilities over the top-K (Eq. 7); zero outside.
+    pub probs: Var<'t>,
+    /// The 0/1 top-K selection mask (constant, non-differentiable).
+    pub topk_mask: Matrix,
+}
+
+impl NoisyTopKGate {
+    /// Registers the gate parameters (`name.w`, and `name.w_noise` when
+    /// `noisy`): both `in_dim x n_experts` linear maps without bias,
+    /// matching Eq. 5.
+    #[must_use]
+    pub fn new(
+        params: &mut ParamSet,
+        name: &str,
+        in_dim: usize,
+        n_experts: usize,
+        noisy: bool,
+        rng: &mut Rng,
+    ) -> Self {
+        let w = params.add(format!("{name}.w"), Init::XavierUniform.sample(in_dim, n_experts, rng));
+        // Noise weights start at zero: training begins deterministic and
+        // learns where exploration noise helps (Shazeer's initialisation).
+        let w_noise = noisy.then(|| params.add(format!("{name}.w_noise"), Matrix::zeros(in_dim, n_experts)));
+        NoisyTopKGate {
+            w,
+            w_noise,
+            n_experts,
+        }
+    }
+
+    /// Number of experts this gate routes over.
+    #[must_use]
+    pub fn n_experts(&self) -> usize {
+        self.n_experts
+    }
+
+    /// The gate's weight parameter.
+    #[must_use]
+    pub fn weight(&self) -> ParamId {
+        self.w
+    }
+
+    /// Runs the gate. `noise_rng` enables the noisy path (training);
+    /// `None` evaluates deterministically (serving / eval / Fig. 6).
+    ///
+    /// # Panics
+    /// Panics if `k` is out of `1..=n_experts`.
+    #[must_use]
+    pub fn forward<'t>(
+        &self,
+        _tape: &'t Tape,
+        bound: &Bound<'t>,
+        gate_input: Var<'t>,
+        k: usize,
+        noise_rng: Option<&mut Rng>,
+    ) -> GateOutput<'t> {
+        assert!(
+            k >= 1 && k <= self.n_experts,
+            "NoisyTopKGate: k={k} out of 1..={}",
+            self.n_experts
+        );
+        let clean_logits = gate_input.matmul(bound.var(self.w));
+        let noisy_logits = match (self.w_noise, noise_rng) {
+            (Some(wn), Some(rng)) => {
+                // H(x) = G(x) + ε ⊙ softplus(x · W_noise), ε ~ N(0, 1).
+                let (rows, cols) = clean_logits.shape();
+                let eps = rng.normal_matrix(rows, cols, 0.0, 1.0);
+                let noise_scale = gate_input.matmul(bound.var(wn)).softplus();
+                clean_logits + noise_scale.mul_const(&eps)
+            }
+            _ => clean_logits,
+        };
+        let (probs, topk_mask) = noisy_logits.topk_softmax_rows(k);
+        GateOutput {
+            clean_logits,
+            noisy_logits,
+            probs,
+            topk_mask,
+        }
+    }
+
+    /// Tape-free gate logits for serving.
+    #[must_use]
+    pub fn logits_infer(&self, params: &ParamSet, gate_input: &Matrix) -> Matrix {
+        amoe_tensor::matmul::matmul(gate_input, params.value(self.w))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoe_tensor::reduce;
+
+    fn setup(noisy: bool) -> (ParamSet, NoisyTopKGate) {
+        let mut ps = ParamSet::new();
+        let mut rng = Rng::seed_from(3);
+        let gate = NoisyTopKGate::new(&mut ps, "gate", 6, 8, noisy, &mut rng);
+        (ps, gate)
+    }
+
+    #[test]
+    fn probs_are_topk_distributions() {
+        let (ps, gate) = setup(false);
+        let mut rng = Rng::seed_from(4);
+        let x = rng.normal_matrix(5, 6, 0.0, 1.0);
+        let tape = Tape::new();
+        let bound = ps.bind(&tape);
+        let out = gate.forward(&tape, &bound, tape.leaf(x), 3, None);
+        let p = out.probs.value();
+        for r in 0..5 {
+            let nonzero = p.row(r).iter().filter(|&&v| v > 0.0).count();
+            assert_eq!(nonzero, 3, "row {r}");
+            let sum: f32 = p.row(r).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-5);
+        }
+        // Mask agrees with the nonzero pattern.
+        for r in 0..5 {
+            for c in 0..8 {
+                assert_eq!(out.topk_mask[(r, c)] > 0.0, p[(r, c)] > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn eval_mode_deterministic() {
+        let (ps, gate) = setup(true);
+        let mut rng = Rng::seed_from(5);
+        let x = rng.normal_matrix(3, 6, 0.0, 1.0);
+        let run = || {
+            let tape = Tape::new();
+            let bound = ps.bind(&tape);
+            gate.forward(&tape, &bound, tape.leaf(x.clone()), 2, None)
+                .probs
+                .value()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn noise_perturbs_selection_sometimes() {
+        let (mut ps, gate) = setup(true);
+        // Give the noise weights some magnitude so the noisy path is live.
+        let wn = ps.find("gate.w_noise").unwrap();
+        ps.value_mut(wn).fill(0.8);
+        let mut rng = Rng::seed_from(6);
+        let x = Rng::seed_from(7).normal_matrix(16, 6, 0.0, 0.2);
+        let tape = Tape::new();
+        let bound = ps.bind(&tape);
+        let clean = gate
+            .forward(&tape, &bound, tape.leaf(x.clone()), 2, None)
+            .topk_mask;
+        let noisy = gate
+            .forward(&tape, &bound, tape.leaf(x), 2, Some(&mut rng))
+            .topk_mask;
+        assert_ne!(clean, noisy, "noise never changed the top-k selection");
+    }
+
+    #[test]
+    fn clean_logits_unaffected_by_noise() {
+        let (mut ps, gate) = setup(true);
+        let wn = ps.find("gate.w_noise").unwrap();
+        ps.value_mut(wn).fill(1.0);
+        let mut rng = Rng::seed_from(8);
+        let x = Rng::seed_from(9).normal_matrix(4, 6, 0.0, 1.0);
+        let tape = Tape::new();
+        let bound = ps.bind(&tape);
+        let out = gate.forward(&tape, &bound, tape.leaf(x), 2, Some(&mut rng));
+        // Clean logits equal x·W regardless of the noise branch.
+        let expect = amoe_tensor::matmul::matmul(
+            &out.clean_logits.value(),
+            &Matrix::eye(8),
+        );
+        amoe_tensor::assert_close(&out.clean_logits.value(), &expect, 1e-6, 1e-7);
+        assert_ne!(out.clean_logits.value(), out.noisy_logits.value());
+    }
+
+    #[test]
+    fn gate_receives_gradients() {
+        let (mut ps, gate) = setup(false);
+        let mut rng = Rng::seed_from(10);
+        let x = rng.normal_matrix(4, 6, 0.0, 1.0);
+        let tape = Tape::new();
+        let bound = ps.bind(&tape);
+        let out = gate.forward(&tape, &bound, tape.leaf(x), 2, None);
+        let weight = rng.normal_matrix(4, 8, 0.0, 1.0);
+        let loss = out.probs.mul_const(&weight).sum_all();
+        let grads = tape.backward(loss);
+        ps.collect_grads(&bound, &grads);
+        assert!(ps.grad(gate.weight()).frob_norm() > 0.0);
+    }
+
+    #[test]
+    fn infer_matches_clean_logits() {
+        let (ps, gate) = setup(false);
+        let mut rng = Rng::seed_from(11);
+        let x = rng.normal_matrix(3, 6, 0.0, 1.0);
+        let tape = Tape::new();
+        let bound = ps.bind(&tape);
+        let out = gate.forward(&tape, &bound, tape.leaf(x.clone()), 2, None);
+        amoe_tensor::assert_close(
+            &gate.logits_infer(&ps, &x),
+            &out.clean_logits.value(),
+            1e-6,
+            1e-7,
+        );
+    }
+
+    #[test]
+    fn importance_concentrates_without_balance() {
+        // Sanity: column sums of probs define the importance vector used
+        // by the load-balance loss.
+        let (ps, gate) = setup(false);
+        let mut rng = Rng::seed_from(12);
+        let x = rng.normal_matrix(32, 6, 0.0, 1.0);
+        let tape = Tape::new();
+        let bound = ps.bind(&tape);
+        let out = gate.forward(&tape, &bound, tape.leaf(x), 2, None);
+        let imp = reduce::col_sum(&out.probs.value());
+        let total: f32 = imp.as_slice().iter().sum();
+        assert!((total - 32.0).abs() < 1e-3); // probabilities sum to 1/row
+    }
+}

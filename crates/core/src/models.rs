@@ -1,0 +1,745 @@
+//! The model zoo (paper Sec. 5.1.3): DNN, MoE variants and MMoE.
+
+use amoe_autograd::{Tape, Var};
+use amoe_dataset::{Batch, DatasetMeta};
+use amoe_nn::optim::{Adam, Optimizer};
+use amoe_nn::{Activation, Mlp, ParamId, ParamSet};
+use amoe_tensor::{ops, Matrix, Rng};
+
+use crate::config::MoeConfig;
+use crate::features::FeatureEncoder;
+use crate::gating::{GateOutput, NoisyTopKGate};
+use crate::losses::{adversarial_loss, hsc_loss, load_balance_loss, sample_adversarial_mask};
+use crate::ranker::{OptimConfig, Ranker, StepStats};
+
+/// Builds one expert tower's layer dims from the config.
+fn tower_dims(input_dim: usize, hidden: &[usize]) -> Vec<usize> {
+    let mut dims = Vec::with_capacity(hidden.len() + 2);
+    dims.push(input_dim);
+    dims.extend_from_slice(hidden);
+    dims.push(1);
+    dims
+}
+
+// ---------------------------------------------------------------------------
+// MoE family: MoE / Adv-MoE / HSC-MoE / Adv & HSC-MoE
+// ---------------------------------------------------------------------------
+
+/// The unified MoE model. [`MoeConfig::adversarial`] and
+/// [`MoeConfig::hsc`] select the paper's four variants.
+pub struct MoeModel {
+    config: MoeConfig,
+    params: ParamSet,
+    encoder: FeatureEncoder,
+    experts: Vec<Mlp>,
+    inference_gate: NoisyTopKGate,
+    /// Present iff `config.hsc`: identical structure to the inference
+    /// gate, fed with the TC embedding, never noisy (it is a target
+    /// distribution, not a router).
+    constraint_gate: Option<NoisyTopKGate>,
+    optimizer: Adam,
+    clip_norm: f32,
+    rng: Rng,
+}
+
+/// Everything a forward pass produces that losses and analyses consume.
+struct MoeForward<'t> {
+    gate: GateOutput<'t>,
+    /// `B x N` matrix of raw expert logits.
+    expert_matrix: Var<'t>,
+    /// `B x 1` ensemble logits.
+    logit: Var<'t>,
+    /// Constraint-gate clean logits when HSC is active.
+    constraint_logits: Option<Var<'t>>,
+}
+
+impl MoeModel {
+    /// Builds the model for a dataset schema.
+    ///
+    /// # Panics
+    /// Panics if the config is inconsistent with the schema.
+    #[must_use]
+    pub fn new(meta: &DatasetMeta, config: MoeConfig, optim: OptimConfig) -> Self {
+        config.validate(meta);
+        let mut rng = Rng::seed_from(config.seed);
+        let mut init_rng = rng.fork(1);
+        let noise_rng = rng.fork(2);
+        let mut params = ParamSet::new();
+        let encoder = FeatureEncoder::new(&mut params, meta, &config, &mut init_rng);
+        let input_dim = config.input_dim(meta);
+        let dims = tower_dims(input_dim, &config.tower.hidden);
+        let experts: Vec<Mlp> = (0..config.n_experts)
+            .map(|i| {
+                Mlp::new(
+                    &mut params,
+                    &format!("expert{i}"),
+                    &dims,
+                    Activation::Relu,
+                    &mut init_rng,
+                )
+            })
+            .collect();
+        let inference_gate = NoisyTopKGate::new(
+            &mut params,
+            "gate.inference",
+            config.gate_input_dim(meta),
+            config.n_experts,
+            config.noisy_gating,
+            &mut init_rng,
+        );
+        let constraint_gate = config.hsc.then(|| {
+            NoisyTopKGate::new(
+                &mut params,
+                "gate.constraint",
+                config.emb_dim,
+                config.n_experts,
+                false,
+                &mut init_rng,
+            )
+        });
+        MoeModel {
+            config,
+            params,
+            encoder,
+            experts,
+            inference_gate,
+            constraint_gate,
+            optimizer: Adam::adamw(optim.lr, optim.weight_decay),
+            clip_norm: optim.clip_norm,
+            rng: noise_rng,
+        }
+    }
+
+    /// The model's configuration.
+    #[must_use]
+    pub fn config(&self) -> &MoeConfig {
+        &self.config
+    }
+
+    /// Read access to the parameters (checkpointing, serving export).
+    #[must_use]
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+
+    /// Mutable access to the parameters (checkpoint restore).
+    pub fn params_mut(&mut self) -> &mut ParamSet {
+        &mut self.params
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        bound: &amoe_nn::Bound<'t>,
+        batch: &Batch,
+        noise_rng: Option<&mut Rng>,
+    ) -> MoeForward<'t> {
+        let x = self.encoder.input(tape, bound, batch);
+        let gate_in = self
+            .encoder
+            .gate_input(tape, bound, batch, self.config.gate_input);
+        let gate = self
+            .inference_gate
+            .forward(tape, bound, gate_in, self.config.top_k, noise_rng);
+        let outs: Vec<Var<'t>> = self.experts.iter().map(|e| e.forward(bound, x)).collect();
+        let expert_matrix = Var::concat_cols(&outs);
+        let logit = (gate.probs * expert_matrix).row_sum();
+        let constraint_logits = self.constraint_gate.as_ref().map(|cg| {
+            let tc_emb = self.encoder.tc_embedding(bound, batch);
+            cg.forward(tape, bound, tc_emb, self.config.top_k, None)
+                .clean_logits
+        });
+        MoeForward {
+            gate,
+            expert_matrix,
+            logit,
+            constraint_logits,
+        }
+    }
+
+    /// Full-support softmax of the clean inference-gate logits for a
+    /// batch — the "inference MoE gate values" clustered in Fig. 6.
+    #[must_use]
+    pub fn gate_probs_full(&self, batch: &Batch) -> Matrix {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let gate_in = self
+            .encoder
+            .gate_input(&tape, &bound, batch, self.config.gate_input);
+        let logits = gate_in.matmul(bound.var(self.inference_gate.weight()));
+        ops::softmax_rows(&logits.value())
+    }
+
+    /// Top-K masked gate probabilities (the mixture weights actually used).
+    #[must_use]
+    pub fn gate_probs_topk(&self, batch: &Batch) -> Matrix {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let gate_in = self
+            .encoder
+            .gate_input(&tape, &bound, batch, self.config.gate_input);
+        self.inference_gate
+            .forward(&tape, &bound, gate_in, self.config.top_k, None)
+            .probs
+            .value()
+    }
+
+    /// The expert towers (read-only, used by the serving path).
+    #[must_use]
+    pub fn experts(&self) -> &[Mlp] {
+        &self.experts
+    }
+
+    /// Tape-free dense input assembly (Eq. 2) for serving.
+    #[must_use]
+    pub fn encoder_input_infer(&self, batch: &Batch) -> Matrix {
+        self.encoder.input_infer(&self.params, batch)
+    }
+
+    /// Tape-free inference-gate input for serving.
+    ///
+    /// # Panics
+    /// Panics for ablation gate inputs other than [`crate::config::GateInput::Sc`] —
+    /// only the paper's production configuration has a serving path.
+    #[must_use]
+    pub fn gate_input_infer(&self, batch: &Batch) -> Matrix {
+        assert!(
+            matches!(self.config.gate_input, crate::config::GateInput::Sc),
+            "serving supports the SC gate input only (the paper's deployed configuration)"
+        );
+        self.encoder.sc_embedding_infer(&self.params, batch)
+    }
+
+    /// Tape-free clean gate logits for serving.
+    #[must_use]
+    pub fn gate_logits_infer(&self, gate_input: &Matrix) -> Matrix {
+        self.inference_gate.logits_infer(&self.params, gate_input)
+    }
+
+    /// Raw per-expert logits and the top-K selection mask for a batch
+    /// (the case-study visual, Table 7 / Fig. 8).
+    #[must_use]
+    pub fn expert_logits(&self, batch: &Batch) -> (Matrix, Matrix) {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let fwd = self.forward(&tape, &bound, batch, None);
+        (fwd.expert_matrix.value(), fwd.gate.topk_mask)
+    }
+}
+
+impl Ranker for MoeModel {
+    fn name(&self) -> String {
+        match (self.config.adversarial, self.config.hsc) {
+            (false, false) => "MoE".to_string(),
+            (true, false) => "Adv-MoE".to_string(),
+            (false, true) => "HSC-MoE".to_string(),
+            (true, true) => "Adv & HSC-MoE".to_string(),
+        }
+    }
+
+    fn train_step(&mut self, batch: &Batch) -> StepStats {
+        let stats = self.accumulate_gradients(batch);
+        self.optimizer.step(&mut self.params);
+        stats
+    }
+
+    fn predict(&self, batch: &Batch) -> Vec<f32> {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let fwd = self.forward(&tape, &bound, batch, None);
+        ops::sigmoid(&fwd.logit.value()).into_vec()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+impl MoeModel {
+    /// Runs one forward/backward pass, leaving fresh (clipped) gradients
+    /// in the parameter set without applying an optimizer update. Used
+    /// by [`Ranker::train_step`] and by [`crate::finetune::FineTuner`],
+    /// which filters the gradients before stepping its own optimizer.
+    pub fn accumulate_gradients(&mut self, batch: &Batch) -> StepStats {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        // Borrow discipline: the noise/adversarial RNG is a dedicated
+        // field so the forward pass can use it while params are bound.
+        let mut step_rng = self.rng.fork(0);
+        let noise = self.config.noisy_gating.then_some(&mut step_rng);
+        let fwd = self.forward(&tape, &bound, batch, noise);
+
+        let ce = fwd.logit.bce_with_logits(&batch.labels);
+        let mut per_example = ce;
+        let mut stats = StepStats::default();
+
+        if let Some(c_logits) = fwd.constraint_logits {
+            let hsc = hsc_loss(fwd.gate.clean_logits, c_logits, &fwd.gate.topk_mask);
+            stats.hsc = amoe_tensor::reduce::mean(&hsc.value());
+            per_example = per_example + hsc.scale(self.config.lambda1);
+        }
+        if self.config.adversarial {
+            let adv_mask = sample_adversarial_mask(
+                &fwd.gate.topk_mask,
+                self.config.n_adversarial,
+                &mut step_rng,
+            );
+            let adv = adversarial_loss(
+                fwd.expert_matrix,
+                &fwd.gate.topk_mask,
+                &adv_mask,
+                self.config.top_k,
+                self.config.n_adversarial,
+            );
+            stats.adv = amoe_tensor::reduce::mean(&adv.value());
+            per_example = per_example - adv.scale(self.config.lambda2);
+        }
+        stats.ce = amoe_tensor::reduce::mean(&ce.value());
+
+        let mut loss = per_example.mean_all();
+        if self.config.load_balance > 0.0 {
+            let lb = load_balance_loss(fwd.gate.probs);
+            stats.load_balance = lb.value()[(0, 0)];
+            loss = loss + lb.scale(self.config.load_balance);
+        }
+        stats.loss = loss.value()[(0, 0)];
+
+        let grads = tape.backward(loss);
+        self.params.zero_grads();
+        self.params.collect_grads(&bound, &grads);
+        drop(bound);
+        if self.clip_norm > 0.0 {
+            self.params.clip_grad_global_norm(self.clip_norm);
+        }
+        stats
+    }
+}
+
+// ---------------------------------------------------------------------------
+// DNN baseline
+// ---------------------------------------------------------------------------
+
+/// The plain feed-forward baseline: the same encoder feeding a single
+/// tower of the same shape as one expert (Sec. 5.1.4).
+pub struct DnnModel {
+    params: ParamSet,
+    encoder: FeatureEncoder,
+    tower: Mlp,
+    optimizer: Adam,
+    clip_norm: f32,
+}
+
+impl DnnModel {
+    /// Builds the baseline for a dataset schema. `config` supplies the
+    /// embedding dim and tower shape; gating fields are ignored.
+    #[must_use]
+    pub fn new(meta: &DatasetMeta, config: &MoeConfig, optim: OptimConfig) -> Self {
+        let mut rng = Rng::seed_from(config.seed);
+        let mut init_rng = rng.fork(1);
+        let mut params = ParamSet::new();
+        let encoder = FeatureEncoder::new(&mut params, meta, config, &mut init_rng);
+        let dims = tower_dims(config.input_dim(meta), &config.tower.hidden);
+        let tower = Mlp::new(&mut params, "dnn", &dims, Activation::Relu, &mut init_rng);
+        DnnModel {
+            params,
+            encoder,
+            tower,
+            optimizer: Adam::adamw(optim.lr, optim.weight_decay),
+            clip_norm: optim.clip_norm,
+        }
+    }
+
+    /// Read access to the parameters.
+    #[must_use]
+    pub fn params(&self) -> &ParamSet {
+        &self.params
+    }
+}
+
+impl Ranker for DnnModel {
+    fn name(&self) -> String {
+        "DNN".to_string()
+    }
+
+    fn train_step(&mut self, batch: &Batch) -> StepStats {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let x = self.encoder.input(&tape, &bound, batch);
+        let logit = self.tower.forward(&bound, x);
+        let loss = logit.bce_with_logits(&batch.labels).mean_all();
+        let stats = StepStats {
+            loss: loss.value()[(0, 0)],
+            ce: loss.value()[(0, 0)],
+            ..Default::default()
+        };
+        let grads = tape.backward(loss);
+        self.params.zero_grads();
+        self.params.collect_grads(&bound, &grads);
+        drop(bound);
+        if self.clip_norm > 0.0 {
+            self.params.clip_grad_global_norm(self.clip_norm);
+        }
+        self.optimizer.step(&mut self.params);
+        stats
+    }
+
+    fn predict(&self, batch: &Batch) -> Vec<f32> {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let x = self.encoder.input(&tape, &bound, batch);
+        let logit = self.tower.forward(&bound, x);
+        ops::sigmoid(&logit.value()).into_vec()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MMoE baseline
+// ---------------------------------------------------------------------------
+
+/// Multi-gate Mixture-of-Experts (Ma et al. 2018, the paper's ref \[18\]):
+/// the prediction tasks under different top-category buckets are treated
+/// as separate tasks, each with its own softmax gate over the shared
+/// experts (paper Sec. 5.1.3–5.1.4).
+pub struct MmoeModel {
+    n_experts: usize,
+    params: ParamSet,
+    encoder: FeatureEncoder,
+    experts: Vec<Mlp>,
+    /// Per-task gate weight matrices (`input_dim x N`, no bias).
+    gates: Vec<ParamId>,
+    /// `tc → task bucket` assignment.
+    task_of_tc: Vec<usize>,
+    optimizer: Adam,
+    clip_norm: f32,
+}
+
+impl MmoeModel {
+    /// Builds an MMoE with `n_experts` experts and one gate per task
+    /// bucket. `task_of_tc` maps each top-category to its bucket (see
+    /// `amoe_dataset::buckets::equal_count_task_buckets`).
+    ///
+    /// # Panics
+    /// Panics if `task_of_tc` is empty or shorter than the TC vocabulary.
+    #[must_use]
+    pub fn new(
+        meta: &DatasetMeta,
+        config: &MoeConfig,
+        n_experts: usize,
+        task_of_tc: Vec<usize>,
+        optim: OptimConfig,
+    ) -> Self {
+        assert_eq!(
+            task_of_tc.len(),
+            meta.tc_vocab,
+            "MmoeModel: task map covers {} TCs, vocabulary has {}",
+            task_of_tc.len(),
+            meta.tc_vocab
+        );
+        let n_tasks = task_of_tc.iter().copied().max().unwrap_or(0) + 1;
+        let mut rng = Rng::seed_from(config.seed);
+        let mut init_rng = rng.fork(1);
+        let mut params = ParamSet::new();
+        let encoder = FeatureEncoder::new(&mut params, meta, config, &mut init_rng);
+        let input_dim = config.input_dim(meta);
+        let dims = tower_dims(input_dim, &config.tower.hidden);
+        let experts: Vec<Mlp> = (0..n_experts)
+            .map(|i| {
+                Mlp::new(
+                    &mut params,
+                    &format!("expert{i}"),
+                    &dims,
+                    Activation::Relu,
+                    &mut init_rng,
+                )
+            })
+            .collect();
+        let gates: Vec<ParamId> = (0..n_tasks)
+            .map(|t| {
+                params.add(
+                    format!("gate.task{t}.w"),
+                    amoe_nn::Init::XavierUniform.sample(input_dim, n_experts, &mut init_rng),
+                )
+            })
+            .collect();
+        MmoeModel {
+            n_experts,
+            params,
+            encoder,
+            experts,
+            gates,
+            task_of_tc,
+            optimizer: Adam::adamw(optim.lr, optim.weight_decay),
+            clip_norm: optim.clip_norm,
+        }
+    }
+
+    /// Number of task gates.
+    #[must_use]
+    pub fn n_tasks(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Builds the per-example task-selection masks (`B x N`, rows of a
+    /// task's mask are 1 where the example belongs to the task).
+    fn task_masks(&self, batch: &Batch) -> Vec<Matrix> {
+        let b = batch.len();
+        let mut masks = vec![Matrix::zeros(b, self.n_experts); self.gates.len()];
+        for (i, &tc) in batch.tc.iter().enumerate() {
+            let t = self.task_of_tc[tc];
+            masks[t].row_mut(i).fill(1.0);
+        }
+        masks
+    }
+
+    fn forward<'t>(
+        &self,
+        tape: &'t Tape,
+        bound: &amoe_nn::Bound<'t>,
+        batch: &Batch,
+    ) -> Var<'t> {
+        let x = self.encoder.input(tape, bound, batch);
+        let masks = self.task_masks(batch);
+        // Per-example gate logits: each row comes from its task's gate.
+        let mut mixed: Option<Var<'t>> = None;
+        for (gate, mask) in self.gates.iter().zip(&masks) {
+            let logits_t = x.matmul(bound.var(*gate)).mul_const(mask);
+            mixed = Some(match mixed {
+                Some(acc) => acc + logits_t,
+                None => logits_t,
+            });
+        }
+        let probs = mixed.expect("at least one task gate").softmax_rows();
+        let outs: Vec<Var<'t>> = self.experts.iter().map(|e| e.forward(bound, x)).collect();
+        let expert_matrix = Var::concat_cols(&outs);
+        (probs * expert_matrix).row_sum()
+    }
+}
+
+impl Ranker for MmoeModel {
+    fn name(&self) -> String {
+        format!("{}-MMoE", self.n_experts)
+    }
+
+    fn train_step(&mut self, batch: &Batch) -> StepStats {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let logit = self.forward(&tape, &bound, batch);
+        let loss = logit.bce_with_logits(&batch.labels).mean_all();
+        let stats = StepStats {
+            loss: loss.value()[(0, 0)],
+            ce: loss.value()[(0, 0)],
+            ..Default::default()
+        };
+        let grads = tape.backward(loss);
+        self.params.zero_grads();
+        self.params.collect_grads(&bound, &grads);
+        drop(bound);
+        if self.clip_norm > 0.0 {
+            self.params.clip_grad_global_norm(self.clip_norm);
+        }
+        self.optimizer.step(&mut self.params);
+        stats
+    }
+
+    fn predict(&self, batch: &Batch) -> Vec<f32> {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let logit = self.forward(&tape, &bound, batch);
+        ops::sigmoid(&logit.value()).into_vec()
+    }
+
+    fn num_parameters(&self) -> usize {
+        self.params.num_scalars()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoe_dataset::buckets::equal_count_task_buckets;
+    use amoe_dataset::{generate, GeneratorConfig};
+
+    fn data() -> amoe_dataset::Dataset {
+        generate(&GeneratorConfig::tiny(21))
+    }
+
+    fn small_cfg() -> MoeConfig {
+        MoeConfig {
+            n_experts: 6,
+            top_k: 2,
+            tower: crate::config::TowerConfig {
+                hidden: vec![16, 8],
+            },
+            ..MoeConfig::default()
+        }
+    }
+
+    #[test]
+    fn names_match_variants() {
+        let d = data();
+        let o = OptimConfig::default();
+        assert_eq!(
+            MoeModel::new(&d.meta, small_cfg(), o).name(),
+            "MoE"
+        );
+        let adv = MoeConfig {
+            adversarial: true,
+            ..small_cfg()
+        };
+        assert_eq!(MoeModel::new(&d.meta, adv, o).name(), "Adv-MoE");
+        let hsc = MoeConfig {
+            hsc: true,
+            ..small_cfg()
+        };
+        assert_eq!(MoeModel::new(&d.meta, hsc, o).name(), "HSC-MoE");
+        let both = MoeConfig {
+            adversarial: true,
+            hsc: true,
+            ..small_cfg()
+        };
+        assert_eq!(MoeModel::new(&d.meta, both, o).name(), "Adv & HSC-MoE");
+    }
+
+    #[test]
+    fn train_step_reduces_loss_over_steps() {
+        let d = data();
+        let mut model = MoeModel::new(&d.meta, small_cfg(), OptimConfig::default());
+        let idx: Vec<usize> = (0..128.min(d.train.len())).collect();
+        let batch = Batch::from_split(&d.train, &idx);
+        let first = model.train_step(&batch).loss;
+        let mut last = first;
+        for _ in 0..30 {
+            last = model.train_step(&batch).loss;
+        }
+        assert!(last < first, "loss did not decrease: {first} -> {last}");
+        assert!(model.params().all_finite());
+    }
+
+    #[test]
+    fn hsc_variant_reports_hsc_component() {
+        let d = data();
+        let cfg = MoeConfig {
+            hsc: true,
+            ..small_cfg()
+        };
+        let mut model = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+        let stats = model.train_step(&batch);
+        assert!(stats.hsc > 0.0, "hsc component missing: {stats:?}");
+        // Plain MoE reports zero HSC.
+        let mut plain = MoeModel::new(&d.meta, small_cfg(), OptimConfig::default());
+        assert_eq!(plain.train_step(&batch).hsc, 0.0);
+    }
+
+    #[test]
+    fn adv_variant_reports_adv_component() {
+        let d = data();
+        let cfg = MoeConfig {
+            adversarial: true,
+            ..small_cfg()
+        };
+        let mut model = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+        let stats = model.train_step(&batch);
+        assert!(stats.adv >= 0.0);
+        // After a few steps the adversarial reward should be non-trivial.
+        let mut s = stats;
+        for _ in 0..20 {
+            s = model.train_step(&batch);
+        }
+        assert!(s.adv > 0.0, "adv component stayed zero: {s:?}");
+    }
+
+    #[test]
+    fn predictions_are_probabilities() {
+        let d = data();
+        let model = MoeModel::new(&d.meta, small_cfg(), OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..32).collect::<Vec<_>>());
+        let p = model.predict(&batch);
+        assert_eq!(p.len(), 32);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn predict_deterministic_in_eval_mode() {
+        let d = data();
+        let model = MoeModel::new(&d.meta, small_cfg(), OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..16).collect::<Vec<_>>());
+        assert_eq!(model.predict(&batch), model.predict(&batch));
+    }
+
+    #[test]
+    fn gate_probs_shapes_and_support() {
+        let d = data();
+        let cfg = small_cfg();
+        let model = MoeModel::new(&d.meta, cfg.clone(), OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..10).collect::<Vec<_>>());
+        let full = model.gate_probs_full(&batch);
+        let topk = model.gate_probs_topk(&batch);
+        assert_eq!(full.shape(), (10, cfg.n_experts));
+        assert_eq!(topk.shape(), (10, cfg.n_experts));
+        for r in 0..10 {
+            assert!((full.row(r).iter().sum::<f32>() - 1.0).abs() < 1e-5);
+            let nz = topk.row(r).iter().filter(|&&v| v > 0.0).count();
+            assert_eq!(nz, cfg.top_k);
+        }
+    }
+
+    #[test]
+    fn dnn_trains_and_predicts() {
+        let d = data();
+        let mut dnn = DnnModel::new(&d.meta, &small_cfg(), OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+        let first = dnn.train_step(&batch).loss;
+        let mut last = first;
+        for _ in 0..30 {
+            last = dnn.train_step(&batch).loss;
+        }
+        assert!(last < first);
+        let p = dnn.predict(&batch);
+        assert!(p.iter().all(|&v| (0.0..=1.0).contains(&v)));
+    }
+
+    #[test]
+    fn mmoe_trains_and_matches_capacity_claim() {
+        let d = data();
+        let task_of_tc = equal_count_task_buckets(&d.train, d.hierarchy.num_tc(), 4);
+        let cfg = small_cfg();
+        let mut mmoe = MmoeModel::new(&d.meta, &cfg, 6, task_of_tc, OptimConfig::default());
+        assert_eq!(mmoe.name(), "6-MMoE");
+        assert_eq!(mmoe.n_tasks(), 4);
+        let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+        let first = mmoe.train_step(&batch).loss;
+        let mut last = first;
+        for _ in 0..30 {
+            last = mmoe.train_step(&batch).loss;
+        }
+        assert!(last < first);
+        // Same expert count ⇒ comparable parameter count to the MoE model
+        // (MMoE swaps one noisy gate for several task gates).
+        let moe = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let ratio = mmoe.num_parameters() as f64 / moe.num_parameters() as f64;
+        assert!((0.8..1.3).contains(&ratio), "capacity ratio {ratio}");
+    }
+
+    #[test]
+    fn expert_logits_expose_case_study_view() {
+        let d = data();
+        let cfg = small_cfg();
+        let model = MoeModel::new(&d.meta, cfg.clone(), OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..5).collect::<Vec<_>>());
+        let (scores, mask) = model.expert_logits(&batch);
+        assert_eq!(scores.shape(), (5, cfg.n_experts));
+        assert_eq!(mask.shape(), (5, cfg.n_experts));
+        for r in 0..5 {
+            assert_eq!(
+                mask.row(r).iter().filter(|&&v| v > 0.0).count(),
+                cfg.top_k
+            );
+        }
+    }
+}

@@ -1,0 +1,57 @@
+//! The [`Ranker`] abstraction every model in the zoo implements.
+
+use amoe_dataset::Batch;
+
+/// Optimizer hyper-parameters shared by all models (the paper uses AdamW
+/// with a constant learning rate for every model, Sec. 5.1.4).
+#[derive(Clone, Copy, Debug)]
+pub struct OptimConfig {
+    /// AdamW learning rate.
+    pub lr: f32,
+    /// Decoupled weight decay.
+    pub weight_decay: f32,
+    /// Global-norm gradient clip (0 disables).
+    pub clip_norm: f32,
+}
+
+impl Default for OptimConfig {
+    fn default() -> Self {
+        OptimConfig {
+            lr: 3e-3,
+            weight_decay: 1e-5,
+            clip_norm: 5.0,
+        }
+    }
+}
+
+/// Loss components observed during one training step.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct StepStats {
+    /// The full objective J (Eq. 14).
+    pub loss: f32,
+    /// Cross-entropy component (Eq. 13).
+    pub ce: f32,
+    /// Hierarchical Soft Constraint component (before λ₁).
+    pub hsc: f32,
+    /// Adversarial component (before λ₂; enters J negatively).
+    pub adv: f32,
+    /// Load-balance component (before its weight).
+    pub load_balance: f32,
+}
+
+/// A trainable ranking model scoring (query, product) candidates.
+pub trait Ranker {
+    /// Model name for reports (e.g. `"Adv & HSC-MoE"`).
+    fn name(&self) -> String;
+
+    /// Runs one optimisation step on a mini-batch and returns the loss
+    /// decomposition.
+    fn train_step(&mut self, batch: &Batch) -> StepStats;
+
+    /// Predicted purchase probabilities for a batch (evaluation mode:
+    /// deterministic, no gating noise).
+    fn predict(&self, batch: &Batch) -> Vec<f32>;
+
+    /// Total scalar parameter count (model capacity, Sec. 5.2).
+    fn num_parameters(&self) -> usize;
+}

@@ -1,0 +1,144 @@
+//! Tape-free sparse serving for the MoE family.
+//!
+//! The paper's motivating constraint (Sec. 1, Sec. 4.2) is that only the
+//! top-K expert towers are computed at serving time, so capacity can grow
+//! with `N` at constant cost. [`ServingMoe`] implements that path:
+//! expert-major batching — for each expert, gather the examples that
+//! routed to it, run one batched MLP forward, and scatter the weighted
+//! outputs back. No autograd tape, no per-op value cloning.
+//!
+//! The `serving_scaling` bench demonstrates the constant-cost property by
+//! sweeping `N` at fixed `K`.
+
+use amoe_dataset::Batch;
+use amoe_tensor::{ops, topk, Matrix};
+
+use crate::models::MoeModel;
+
+/// A frozen, inference-only view of a trained [`MoeModel`].
+///
+/// Borrows the model; build it after training (weights are read through
+/// the model's parameter set on every call, so no state is copied).
+pub struct ServingMoe<'m> {
+    model: &'m MoeModel,
+}
+
+impl<'m> ServingMoe<'m> {
+    /// Wraps a trained model.
+    #[must_use]
+    pub fn new(model: &'m MoeModel) -> Self {
+        ServingMoe { model }
+    }
+
+    /// Predicted purchase probabilities, computing only the top-K experts
+    /// per example.
+    #[must_use]
+    pub fn predict(&self, batch: &Batch) -> Vec<f32> {
+        ops::sigmoid(&Matrix::from_vec(
+            batch.len(),
+            1,
+            self.predict_logits(batch),
+        ))
+        .into_vec()
+    }
+
+    /// Raw ensemble logits (pre-sigmoid) via the sparse path.
+    #[must_use]
+    pub fn predict_logits(&self, batch: &Batch) -> Vec<f32> {
+        let model = self.model;
+        let params = model.params();
+        let cfg = model.config();
+        let b = batch.len();
+
+        // Dense input once; gating from the SC embedding.
+        let x = model.encoder_input_infer(batch);
+        let gate_in = model.gate_input_infer(batch);
+        let logits = model.gate_logits_infer(&gate_in);
+
+        // Per-example top-K selection + masked softmax weights.
+        let mut weights = vec![vec![0f32; 0]; b];
+        let mut selected = vec![vec![0usize; 0]; b];
+        for r in 0..b {
+            let idx = topk::top_k_indices(logits.row(r), cfg.top_k);
+            // Softmax over the selected logits only (Eq. 6–7).
+            let max = logits[(r, idx[0])];
+            let mut exps: Vec<f32> = idx
+                .iter()
+                .map(|&c| (logits[(r, c)] - max).exp())
+                .collect();
+            let sum: f32 = exps.iter().sum();
+            exps.iter_mut().for_each(|e| *e /= sum);
+            weights[r] = exps;
+            selected[r] = idx;
+        }
+
+        // Expert-major batching: run each expert once over its routed rows.
+        let mut out = vec![0f32; b];
+        for (e_idx, expert) in model.experts().iter().enumerate() {
+            let mut rows = Vec::new();
+            let mut coeffs = Vec::new();
+            for r in 0..b {
+                if let Some(pos) = selected[r].iter().position(|&c| c == e_idx) {
+                    rows.push(r);
+                    coeffs.push(weights[r][pos]);
+                }
+            }
+            if rows.is_empty() {
+                continue;
+            }
+            let xe = x.gather_rows(&rows);
+            let ye = expert.infer(params, &xe);
+            for ((&r, &w), row) in rows.iter().zip(&coeffs).zip(0..ye.rows()) {
+                out[r] += w * ye[(row, 0)];
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{MoeConfig, TowerConfig};
+    use crate::ranker::{OptimConfig, Ranker};
+    use amoe_dataset::{generate, GeneratorConfig};
+
+    fn trained_model() -> (amoe_dataset::Dataset, MoeModel) {
+        let d = generate(&GeneratorConfig::tiny(41));
+        let cfg = MoeConfig {
+            n_experts: 6,
+            top_k: 2,
+            tower: TowerConfig { hidden: vec![12, 6] },
+            ..MoeConfig::default()
+        };
+        let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..128).collect::<Vec<_>>());
+        for _ in 0..10 {
+            m.train_step(&batch);
+        }
+        (d, m)
+    }
+
+    #[test]
+    fn sparse_serving_matches_dense_training_path() {
+        let (d, m) = trained_model();
+        let batch = Batch::from_split(&d.test, &(0..50).collect::<Vec<_>>());
+        let dense = m.predict(&batch);
+        let sparse = ServingMoe::new(&m).predict(&batch);
+        for (i, (a, b)) in dense.iter().zip(&sparse).enumerate() {
+            assert!(
+                (a - b).abs() < 1e-5,
+                "prediction {i} differs: dense {a} vs sparse {b}"
+            );
+        }
+    }
+
+    #[test]
+    fn serving_logits_finite() {
+        let (d, m) = trained_model();
+        let batch = Batch::from_split(&d.test, &(0..20).collect::<Vec<_>>());
+        let logits = ServingMoe::new(&m).predict_logits(&batch);
+        assert_eq!(logits.len(), 20);
+        assert!(logits.iter().all(|v| v.is_finite()));
+    }
+}

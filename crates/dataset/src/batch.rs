@@ -1,0 +1,193 @@
+//! Mini-batch assembly and shuffled epoch iteration.
+
+use amoe_tensor::{Matrix, Rng};
+
+use crate::data::{Example, Split, N_NUMERIC};
+
+/// A dense mini-batch ready for model consumption.
+///
+/// Sparse ids stay as index vectors (embedding lookups happen inside the
+/// model); numeric features and labels are matrices.
+#[derive(Clone, Debug)]
+pub struct Batch {
+    /// `B x N_NUMERIC` observed numeric features.
+    pub numeric: Matrix,
+    /// `B x 1` purchase labels in {0, 1}.
+    pub labels: Matrix,
+    /// Query-predicted sub-category ids (gating input).
+    pub sc: Vec<usize>,
+    /// Query-predicted top-category ids (HSC gate input).
+    pub tc: Vec<usize>,
+    /// Brand ids.
+    pub brand: Vec<usize>,
+    /// Shop ids.
+    pub shop: Vec<usize>,
+    /// User segment ids.
+    pub user_segment: Vec<usize>,
+    /// Price bucket ids.
+    pub price_bucket: Vec<usize>,
+    /// Query ids (used by the Table 5 ablation that feeds query features
+    /// to the gate).
+    pub query: Vec<usize>,
+}
+
+impl Batch {
+    /// Assembles a batch from a slice of examples.
+    ///
+    /// # Panics
+    /// Panics if `examples` is empty.
+    #[must_use]
+    pub fn from_examples(examples: &[&Example]) -> Batch {
+        assert!(!examples.is_empty(), "Batch::from_examples: empty batch");
+        let b = examples.len();
+        let mut numeric = Matrix::zeros(b, N_NUMERIC);
+        let mut labels = Matrix::zeros(b, 1);
+        let mut sc = Vec::with_capacity(b);
+        let mut tc = Vec::with_capacity(b);
+        let mut brand = Vec::with_capacity(b);
+        let mut shop = Vec::with_capacity(b);
+        let mut user_segment = Vec::with_capacity(b);
+        let mut price_bucket = Vec::with_capacity(b);
+        let mut query = Vec::with_capacity(b);
+        for (i, e) in examples.iter().enumerate() {
+            numeric.row_mut(i).copy_from_slice(&e.numeric);
+            labels[(i, 0)] = f32::from(u8::from(e.label));
+            sc.push(e.pred_sc);
+            tc.push(e.pred_tc);
+            brand.push(e.brand);
+            shop.push(e.shop);
+            user_segment.push(e.user_segment);
+            price_bucket.push(e.price_bucket);
+            query.push(e.query as usize);
+        }
+        Batch {
+            numeric,
+            labels,
+            sc,
+            tc,
+            brand,
+            shop,
+            user_segment,
+            price_bucket,
+            query,
+        }
+    }
+
+    /// Assembles a batch from example indices into a split.
+    #[must_use]
+    pub fn from_split(split: &Split, indices: &[usize]) -> Batch {
+        let refs: Vec<&Example> = indices.iter().map(|&i| &split.examples[i]).collect();
+        Self::from_examples(&refs)
+    }
+
+    /// Batch size.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.sc.len()
+    }
+
+    /// True when the batch has no rows (cannot happen via constructors).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sc.is_empty()
+    }
+}
+
+/// Iterates a split in shuffled mini-batches, reshuffling every epoch.
+pub struct Batcher {
+    indices: Vec<usize>,
+    batch_size: usize,
+    cursor: usize,
+    rng: Rng,
+}
+
+impl Batcher {
+    /// Creates an epoch iterator over `split` with the given batch size.
+    ///
+    /// # Panics
+    /// Panics if the split is empty or `batch_size == 0`.
+    #[must_use]
+    pub fn new(split: &Split, batch_size: usize, seed: u64) -> Self {
+        assert!(!split.is_empty(), "Batcher: empty split");
+        assert!(batch_size > 0, "Batcher: batch_size must be > 0");
+        let mut rng = Rng::seed_from(seed);
+        let mut indices: Vec<usize> = (0..split.len()).collect();
+        rng.shuffle(&mut indices);
+        Batcher {
+            indices,
+            batch_size,
+            cursor: 0,
+            rng,
+        }
+    }
+
+    /// Next mini-batch of indices; reshuffles and restarts when the epoch
+    /// ends (returning `None` exactly once at each epoch boundary).
+    pub fn next_batch(&mut self) -> Option<&[usize]> {
+        if self.cursor >= self.indices.len() {
+            self.rng.shuffle(&mut self.indices);
+            self.cursor = 0;
+            return None;
+        }
+        let end = (self.cursor + self.batch_size).min(self.indices.len());
+        let out = &self.indices[self.cursor..end];
+        self.cursor = end;
+        Some(out)
+    }
+
+    /// Number of batches per epoch.
+    #[must_use]
+    pub fn batches_per_epoch(&self) -> usize {
+        self.indices.len().div_ceil(self.batch_size)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn batch_from_split_shapes() {
+        let d = generate(&GeneratorConfig::tiny(1));
+        let b = Batch::from_split(&d.train, &[0, 1, 2, 5]);
+        assert_eq!(b.len(), 4);
+        assert_eq!(b.numeric.shape(), (4, N_NUMERIC));
+        assert_eq!(b.labels.shape(), (4, 1));
+        assert!(b.labels.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn batcher_covers_epoch_exactly_once() {
+        let d = generate(&GeneratorConfig::tiny(2));
+        let n = d.train.len();
+        let mut batcher = Batcher::new(&d.train, 64, 9);
+        let mut seen = vec![false; n];
+        while let Some(idx) = batcher.next_batch() {
+            for &i in idx {
+                assert!(!seen[i], "index {i} repeated within epoch");
+                seen[i] = true;
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "epoch did not cover all examples");
+    }
+
+    #[test]
+    fn batcher_reshuffles_between_epochs() {
+        let d = generate(&GeneratorConfig::tiny(3));
+        let mut batcher = Batcher::new(&d.train, 16, 10);
+        let first: Vec<usize> = batcher.next_batch().unwrap().to_vec();
+        while batcher.next_batch().is_some() {}
+        let second: Vec<usize> = batcher.next_batch().unwrap().to_vec();
+        assert_ne!(first, second);
+    }
+
+    #[test]
+    fn batches_per_epoch_rounds_up() {
+        let d = generate(&GeneratorConfig::tiny(4));
+        let n = d.train.len();
+        let batcher = Batcher::new(&d.train, 1000, 11);
+        assert_eq!(batcher.batches_per_epoch(), n.div_ceil(1000));
+    }
+}

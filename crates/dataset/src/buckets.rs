@@ -1,0 +1,119 @@
+//! Category bucketing utilities.
+//!
+//! Two bucketing schemes from the paper:
+//!
+//! * **MMoE task buckets** (Sec. 5.1.4): categories divided into
+//!   `n_buckets` groups of roughly equal training-example counts, each
+//!   treated as one task with its own gate.
+//! * **Data-size buckets** (Fig. 5): categories grouped by ascending
+//!   training-data size, used to show that the model's AUC gains are
+//!   largest on small categories.
+
+use crate::data::Split;
+use crate::hierarchy::TcId;
+
+/// Assigns each top-category to one of `n_buckets` task buckets with
+/// roughly equal example counts (greedy longest-processing-time binning:
+/// biggest categories first, each into the currently lightest bucket).
+///
+/// Returns `tc → bucket`. Categories absent from the split land in the
+/// lightest bucket.
+///
+/// # Panics
+/// Panics if `n_buckets == 0`.
+#[must_use]
+pub fn equal_count_task_buckets(split: &Split, num_tc: usize, n_buckets: usize) -> Vec<usize> {
+    assert!(n_buckets > 0, "equal_count_task_buckets: n_buckets == 0");
+    let counts = split.tc_counts(num_tc);
+    let mut order: Vec<TcId> = (0..num_tc).collect();
+    order.sort_by_key(|&tc| std::cmp::Reverse(counts[tc]));
+    let mut load = vec![0usize; n_buckets];
+    let mut assignment = vec![0usize; num_tc];
+    for tc in order {
+        let lightest = (0..n_buckets).min_by_key(|&b| load[b]).expect("n_buckets > 0");
+        assignment[tc] = lightest;
+        load[lightest] += counts[tc];
+    }
+    assignment
+}
+
+/// Groups top-categories into `n_buckets` buckets by ascending training
+/// size (Fig. 5's x-axis). Returns `(bucket → member TCs, bucket → total
+/// examples)`; bucket 0 holds the smallest categories.
+#[must_use]
+pub fn size_buckets(split: &Split, num_tc: usize, n_buckets: usize) -> (Vec<Vec<TcId>>, Vec<usize>) {
+    assert!(n_buckets > 0, "size_buckets: n_buckets == 0");
+    let counts = split.tc_counts(num_tc);
+    let mut order: Vec<TcId> = (0..num_tc).collect();
+    order.sort_by_key(|&tc| counts[tc]);
+    let mut members = vec![Vec::new(); n_buckets];
+    let mut totals = vec![0usize; n_buckets];
+    let per = num_tc.div_ceil(n_buckets);
+    for (i, tc) in order.into_iter().enumerate() {
+        let b = (i / per).min(n_buckets - 1);
+        members[b].push(tc);
+        totals[b] += counts[tc];
+    }
+    (members, totals)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn task_buckets_roughly_balanced() {
+        let d = generate(&GeneratorConfig {
+            train_sessions: 2_000,
+            ..GeneratorConfig::tiny(1)
+        });
+        let num_tc = d.hierarchy.num_tc();
+        let assignment = equal_count_task_buckets(&d.train, num_tc, 10);
+        assert_eq!(assignment.len(), num_tc);
+        assert!(assignment.iter().all(|&b| b < 10));
+        let counts = d.train.tc_counts(num_tc);
+        let mut load = vec![0usize; 10];
+        for (tc, &b) in assignment.iter().enumerate() {
+            load[b] += counts[tc];
+        }
+        let max = *load.iter().max().unwrap();
+        let nonzero_min = *load.iter().filter(|&&l| l > 0).min().unwrap();
+        // Greedy LPT keeps the spread within the largest single category.
+        let biggest = *counts.iter().max().unwrap();
+        assert!(max - nonzero_min <= biggest, "load spread too wide: {load:?}");
+    }
+
+    #[test]
+    fn size_buckets_ascending() {
+        let d = generate(&GeneratorConfig {
+            train_sessions: 2_000,
+            ..GeneratorConfig::tiny(2)
+        });
+        let num_tc = d.hierarchy.num_tc();
+        let (members, totals) = size_buckets(&d.train, num_tc, 4);
+        let covered: usize = members.iter().map(Vec::len).sum();
+        assert_eq!(covered, num_tc);
+        // Mean member size grows with the bucket index.
+        let counts = d.train.tc_counts(num_tc);
+        let mean = |tcs: &Vec<usize>| -> f64 {
+            tcs.iter().map(|&t| counts[t]).sum::<usize>() as f64 / tcs.len().max(1) as f64
+        };
+        for b in 1..4 {
+            assert!(
+                mean(&members[b]) >= mean(&members[b - 1]),
+                "bucket {b} not ascending"
+            );
+        }
+        assert_eq!(totals.iter().sum::<usize>(), d.train.len());
+    }
+
+    #[test]
+    fn single_bucket_takes_all() {
+        let d = generate(&GeneratorConfig::tiny(3));
+        let num_tc = d.hierarchy.num_tc();
+        let a = equal_count_task_buckets(&d.train, num_tc, 1);
+        assert!(a.iter().all(|&b| b == 0));
+    }
+}

@@ -1,0 +1,176 @@
+//! Core data types: examples, sessions and dataset containers.
+
+use std::ops::Range;
+
+use crate::brands::BrandUniverse;
+use crate::hierarchy::{CategoryHierarchy, ScId, TcId};
+use crate::truth::GroundTruth;
+
+/// Number of numeric (dense) features per example.
+pub const N_NUMERIC: usize = 8;
+
+/// Names of the numeric features, indexed like [`Example::numeric`].
+pub const NUMERIC_FEATURE_NAMES: [&str; N_NUMERIC] = [
+    "price_z",
+    "sales_volume",
+    "good_comment_ratio",
+    "historical_ctr",
+    "rating",
+    "discount",
+    "shipping_speed",
+    "recency",
+];
+
+/// One (query, product) candidate with its purchase label.
+///
+/// Sparse ids are global (brand ids already include the per-TC offset).
+#[derive(Clone, Debug)]
+pub struct Example {
+    /// Session this candidate was shown in.
+    pub session: u32,
+    /// Query id.
+    pub query: u32,
+    /// The product's true sub-category.
+    pub true_sc: ScId,
+    /// The product's true top-category.
+    pub true_tc: TcId,
+    /// Sub-category predicted for the *query* by the classifier channel
+    /// (the gating input, paper Sec. 4.1).
+    pub pred_sc: ScId,
+    /// Top-category implied by `pred_sc` via the hierarchy.
+    pub pred_tc: TcId,
+    /// Brand id (global).
+    pub brand: usize,
+    /// Shop id.
+    pub shop: usize,
+    /// User segment id (a stand-in for user profile features).
+    pub user_segment: usize,
+    /// Price bucket id.
+    pub price_bucket: usize,
+    /// Normalised numeric features (see [`NUMERIC_FEATURE_NAMES`]).
+    pub numeric: [f32; N_NUMERIC],
+    /// Whether the user purchased this product.
+    pub label: bool,
+    /// Un-normalised sales volume, kept for the brand-concentration
+    /// analysis (Fig. 3).
+    pub raw_sales: f32,
+}
+
+/// Vocabulary sizes and schema information models need to build their
+/// embedding tables.
+#[derive(Clone, Debug)]
+pub struct DatasetMeta {
+    /// Sub-category vocabulary (= number of SCs).
+    pub sc_vocab: usize,
+    /// Top-category vocabulary (= number of TCs).
+    pub tc_vocab: usize,
+    /// Brand vocabulary.
+    pub brand_vocab: usize,
+    /// Shop vocabulary.
+    pub shop_vocab: usize,
+    /// User-segment vocabulary.
+    pub user_segment_vocab: usize,
+    /// Price-bucket vocabulary.
+    pub price_bucket_vocab: usize,
+    /// Query-id vocabulary (used only by the Table 5 gate-input ablation).
+    pub query_vocab: usize,
+    /// Number of numeric features.
+    pub n_numeric: usize,
+}
+
+/// A split (train or test) of the generated log: a flat example array
+/// plus the session index ranges over it.
+#[derive(Clone, Debug)]
+pub struct Split {
+    /// All examples, session-contiguous.
+    pub examples: Vec<Example>,
+    /// `examples[range]` is one session's candidates.
+    pub sessions: Vec<Range<usize>>,
+}
+
+impl Split {
+    /// Number of examples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.examples.len()
+    }
+
+    /// True when the split has no examples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.examples.is_empty()
+    }
+
+    /// Fraction of positive labels.
+    #[must_use]
+    pub fn positive_rate(&self) -> f64 {
+        if self.examples.is_empty() {
+            return 0.0;
+        }
+        self.examples.iter().filter(|e| e.label).count() as f64 / self.examples.len() as f64
+    }
+
+    /// Restricts the split to examples whose *true* TC is in `tcs`,
+    /// keeping session structure (sessions that become empty disappear;
+    /// sessions are category-pure by construction so this never splits
+    /// a session).
+    #[must_use]
+    pub fn filter_tcs(&self, tcs: &[TcId]) -> Split {
+        let mut examples = Vec::new();
+        let mut sessions = Vec::new();
+        for r in &self.sessions {
+            let sess: Vec<Example> = self.examples[r.clone()]
+                .iter()
+                .filter(|e| tcs.contains(&e.true_tc))
+                .cloned()
+                .collect();
+            if sess.len() >= 2 {
+                let start = examples.len();
+                examples.extend(sess);
+                sessions.push(start..examples.len());
+            }
+        }
+        Split { examples, sessions }
+    }
+
+    /// Per-TC example counts.
+    #[must_use]
+    pub fn tc_counts(&self, num_tc: usize) -> Vec<usize> {
+        let mut counts = vec![0usize; num_tc];
+        for e in &self.examples {
+            counts[e.true_tc] += 1;
+        }
+        counts
+    }
+}
+
+/// The full generated dataset: both splits plus the world model that
+/// produced them (hierarchy, brand universe, ground truth) so analyses
+/// and oracles can refer back to it.
+pub struct Dataset {
+    /// Training split.
+    pub train: Split,
+    /// Test split.
+    pub test: Split,
+    /// The category tree.
+    pub hierarchy: CategoryHierarchy,
+    /// Brand popularity/quality universe.
+    pub brands: BrandUniverse,
+    /// The generating ground truth (for oracle experiments and tests;
+    /// models never see it).
+    pub truth: GroundTruth,
+    /// Vocabulary metadata for model construction.
+    pub meta: DatasetMeta,
+    /// Number of distinct queries in the train split.
+    pub train_queries: usize,
+    /// Number of distinct queries in the test split.
+    pub test_queries: usize,
+}
+
+impl Dataset {
+    /// Vocabulary metadata.
+    #[must_use]
+    pub fn meta(&self) -> &DatasetMeta {
+        &self.meta
+    }
+}

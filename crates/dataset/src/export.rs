@@ -1,0 +1,80 @@
+//! CSV export of generated datasets, for inspection or use outside this
+//! workspace (plotting Fig. 2/3 analogs, cross-checking with other ML
+//! stacks).
+
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+
+use crate::data::{Split, NUMERIC_FEATURE_NAMES};
+
+/// Writes a split as CSV: one row per example with session/query ids,
+/// category ids (true and predicted), sparse ids, numeric features and
+/// the label. Returns the number of rows written.
+///
+/// # Errors
+/// Propagates I/O failures.
+pub fn write_split_csv(split: &Split, path: impl AsRef<Path>) -> io::Result<usize> {
+    let file = std::fs::File::create(path)?;
+    let mut w = BufWriter::new(file);
+    write!(
+        w,
+        "session,query,true_tc,true_sc,pred_tc,pred_sc,brand,shop,user_segment,price_bucket"
+    )?;
+    for name in NUMERIC_FEATURE_NAMES {
+        write!(w, ",{name}")?;
+    }
+    writeln!(w, ",raw_sales,label")?;
+    for e in &split.examples {
+        write!(
+            w,
+            "{},{},{},{},{},{},{},{},{},{}",
+            e.session,
+            e.query,
+            e.true_tc,
+            e.true_sc,
+            e.pred_tc,
+            e.pred_sc,
+            e.brand,
+            e.shop,
+            e.user_segment,
+            e.price_bucket
+        )?;
+        for v in &e.numeric {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w, ",{},{}", e.raw_sales, u8::from(e.label))?;
+    }
+    w.flush()?;
+    Ok(split.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn csv_roundtrip_structure() {
+        let d = generate(&GeneratorConfig::tiny(91));
+        let path = std::env::temp_dir().join(format!("amoe_export_{}.csv", std::process::id()));
+        let rows = write_split_csv(&d.train, &path).unwrap();
+        let text = std::fs::read_to_string(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), rows + 1, "header + one line per example");
+        assert!(lines[0].starts_with("session,query,true_tc"));
+        assert!(lines[0].contains("good_comment_ratio"));
+        // Every data line has the same field count as the header.
+        let fields = lines[0].split(',').count();
+        for (i, line) in lines[1..].iter().enumerate().take(50) {
+            assert_eq!(line.split(',').count(), fields, "line {i}");
+        }
+        // Labels are 0/1.
+        let label_idx = fields - 1;
+        for line in &lines[1..] {
+            let label = line.split(',').nth(label_idx).unwrap();
+            assert!(label == "0" || label == "1");
+        }
+    }
+}

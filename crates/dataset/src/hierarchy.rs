@@ -1,0 +1,269 @@
+//! The two-level category tree and its semantic grouping (paper Table 4).
+
+/// Index of a top-category (parent node in the tree).
+pub type TcId = usize;
+/// Index of a sub-category (leaf node in the tree).
+pub type ScId = usize;
+
+/// Semantic grouping of top-categories used for the gate-vector
+/// clustering analysis (paper Table 4 / Fig. 6).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SemanticClass {
+    /// "blue" — Foods, Kitchenware, Furniture, ...
+    DailyNecessities,
+    /// "green" — Mobile Phone, Computer, ...
+    Electronics,
+    /// "red" — Clothing, Jewelry, Leather, ...
+    Fashion,
+}
+
+impl SemanticClass {
+    /// All classes, in a stable order.
+    pub const ALL: [SemanticClass; 3] = [
+        SemanticClass::DailyNecessities,
+        SemanticClass::Electronics,
+        SemanticClass::Fashion,
+    ];
+
+    /// The paper's colour label for the class (Table 4).
+    #[must_use]
+    pub fn color(self) -> &'static str {
+        match self {
+            SemanticClass::DailyNecessities => "blue",
+            SemanticClass::Electronics => "green",
+            SemanticClass::Fashion => "red",
+        }
+    }
+
+    /// Human-readable name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            SemanticClass::DailyNecessities => "Daily Necessities",
+            SemanticClass::Electronics => "Electronics",
+            SemanticClass::Fashion => "Fashion",
+        }
+    }
+}
+
+/// The default top-category catalogue: name, semantic class, and the
+/// *relative* share of training examples (the paper's log is heavily
+/// skewed — Mobile Phone and Books are large, Clothing comparatively
+/// small, Table 1).
+const CATALOG: &[(&str, SemanticClass, f64)] = &[
+    ("Foods", SemanticClass::DailyNecessities, 0.15),
+    ("Kitchenware", SemanticClass::DailyNecessities, 0.055),
+    ("Furniture", SemanticClass::DailyNecessities, 0.045),
+    ("Books", SemanticClass::DailyNecessities, 0.16),
+    ("Mobile Phone", SemanticClass::Electronics, 0.15),
+    ("Computer", SemanticClass::Electronics, 0.12),
+    ("Electronics", SemanticClass::Electronics, 0.06),
+    ("Camera & Audio", SemanticClass::Electronics, 0.03),
+    ("Clothing", SemanticClass::Fashion, 0.03),
+    ("Jewelry", SemanticClass::Fashion, 0.03),
+    ("Leather", SemanticClass::Fashion, 0.02),
+    ("Sports", SemanticClass::Fashion, 0.15),
+];
+
+/// A two-level category tree: top-categories (TC) each owning a
+/// contiguous block of sub-categories (SC).
+#[derive(Clone, Debug)]
+pub struct CategoryHierarchy {
+    names: Vec<String>,
+    classes: Vec<SemanticClass>,
+    shares: Vec<f64>,
+    /// `sc_parent[sc] = tc`.
+    sc_parent: Vec<TcId>,
+    /// `sc_range[tc] = (first_sc, last_sc_exclusive)`.
+    sc_range: Vec<(ScId, ScId)>,
+    /// Relative size share of each SC within the whole dataset.
+    sc_shares: Vec<f64>,
+}
+
+impl CategoryHierarchy {
+    /// Builds the default catalogue with `subs_per_tc` sub-categories per
+    /// top-category. Within a TC, SC shares follow a mild power law
+    /// (rank^-0.8), so every TC has a couple of dominant SCs and a tail
+    /// of small siblings — the data-scarcity regime HSC targets.
+    ///
+    /// # Panics
+    /// Panics if `subs_per_tc == 0`.
+    #[must_use]
+    pub fn with_subs(subs_per_tc: usize) -> Self {
+        assert!(subs_per_tc > 0, "CategoryHierarchy: subs_per_tc must be > 0");
+        let mut names = Vec::new();
+        let mut classes = Vec::new();
+        let mut shares = Vec::new();
+        let mut sc_parent = Vec::new();
+        let mut sc_range = Vec::new();
+        let mut sc_shares = Vec::new();
+        for (tc, &(name, class, share)) in CATALOG.iter().enumerate() {
+            names.push(name.to_string());
+            classes.push(class);
+            shares.push(share);
+            let first = sc_parent.len();
+            // Power-law shares within the TC, normalised to the TC share.
+            let weights: Vec<f64> = (1..=subs_per_tc).map(|r| (r as f64).powf(-0.8)).collect();
+            let wsum: f64 = weights.iter().sum();
+            for w in &weights {
+                sc_parent.push(tc);
+                sc_shares.push(share * w / wsum);
+            }
+            sc_range.push((first, sc_parent.len()));
+        }
+        CategoryHierarchy {
+            names,
+            classes,
+            shares,
+            sc_parent,
+            sc_range,
+            sc_shares,
+        }
+    }
+
+    /// Number of top-categories.
+    #[must_use]
+    pub fn num_tc(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Number of sub-categories.
+    #[must_use]
+    pub fn num_sc(&self) -> usize {
+        self.sc_parent.len()
+    }
+
+    /// Name of a top-category.
+    #[must_use]
+    pub fn tc_name(&self, tc: TcId) -> &str {
+        &self.names[tc]
+    }
+
+    /// Semantic class of a top-category (Table 4 grouping).
+    #[must_use]
+    pub fn tc_class(&self, tc: TcId) -> SemanticClass {
+        self.classes[tc]
+    }
+
+    /// Looks up a top-category by name.
+    #[must_use]
+    pub fn tc_by_name(&self, name: &str) -> Option<TcId> {
+        self.names.iter().position(|n| n == name)
+    }
+
+    /// Parent top-category of a sub-category.
+    #[must_use]
+    pub fn parent(&self, sc: ScId) -> TcId {
+        self.sc_parent[sc]
+    }
+
+    /// The contiguous SC id range `[first, last)` under a top-category.
+    #[must_use]
+    pub fn subs_of(&self, tc: TcId) -> std::ops::Range<ScId> {
+        let (a, b) = self.sc_range[tc];
+        a..b
+    }
+
+    /// Whether two sub-categories share a parent.
+    #[must_use]
+    pub fn are_siblings(&self, a: ScId, b: ScId) -> bool {
+        self.sc_parent[a] == self.sc_parent[b]
+    }
+
+    /// Relative dataset share of each sub-category (sums to ~1).
+    #[must_use]
+    pub fn sc_shares(&self) -> &[f64] {
+        &self.sc_shares
+    }
+
+    /// Relative dataset share of a top-category.
+    #[must_use]
+    pub fn tc_share(&self, tc: TcId) -> f64 {
+        self.shares[tc]
+    }
+}
+
+impl Default for CategoryHierarchy {
+    /// 12 top-categories × 12 sub-categories (the workspace default).
+    fn default() -> Self {
+        Self::with_subs(12)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_shape() {
+        let h = CategoryHierarchy::default();
+        assert_eq!(h.num_tc(), 12);
+        assert_eq!(h.num_sc(), 144);
+    }
+
+    #[test]
+    fn shares_normalised() {
+        let h = CategoryHierarchy::default();
+        let total: f64 = h.sc_shares().iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+    }
+
+    #[test]
+    fn parent_and_range_consistent() {
+        let h = CategoryHierarchy::with_subs(5);
+        for tc in 0..h.num_tc() {
+            for sc in h.subs_of(tc) {
+                assert_eq!(h.parent(sc), tc);
+            }
+        }
+        // Ranges tile the SC space.
+        let covered: usize = (0..h.num_tc()).map(|tc| h.subs_of(tc).len()).sum();
+        assert_eq!(covered, h.num_sc());
+    }
+
+    #[test]
+    fn siblings() {
+        let h = CategoryHierarchy::with_subs(4);
+        let r = h.subs_of(0);
+        assert!(h.are_siblings(r.start, r.start + 1));
+        let r2 = h.subs_of(1);
+        assert!(!h.are_siblings(r.start, r2.start));
+    }
+
+    #[test]
+    fn named_categories_exist() {
+        let h = CategoryHierarchy::default();
+        for name in ["Mobile Phone", "Books", "Clothing", "Foods", "Sports", "Computer"] {
+            assert!(h.tc_by_name(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn clothing_smaller_than_books_and_mobile() {
+        // Table 1 / Table 3 rely on this skew.
+        let h = CategoryHierarchy::default();
+        let c = h.tc_share(h.tc_by_name("Clothing").unwrap());
+        let b = h.tc_share(h.tc_by_name("Books").unwrap());
+        let m = h.tc_share(h.tc_by_name("Mobile Phone").unwrap());
+        assert!(c < b && c < m);
+    }
+
+    #[test]
+    fn within_tc_shares_skewed() {
+        let h = CategoryHierarchy::default();
+        let r = h.subs_of(0);
+        let shares = h.sc_shares();
+        assert!(shares[r.start] > shares[r.end - 1] * 2.0);
+    }
+
+    #[test]
+    fn semantic_classes_cover_all_three() {
+        let h = CategoryHierarchy::default();
+        for class in SemanticClass::ALL {
+            assert!(
+                (0..h.num_tc()).any(|tc| h.tc_class(tc) == class),
+                "no TC in {class:?}"
+            );
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! The query→category classifier channel.
+//!
+//! The paper (Sec. 4.1) trains a bidirectional GRU on ~100k human-labelled
+//! queries to predict each query's sub-category; top-categories follow
+//! from the hierarchy. The downstream ranking models consume only the
+//! predicted ids, so we model the classifier as a noisy channel with the
+//! confusion structure such a model exhibits: correct with probability
+//! `accuracy`, confused with a *sibling* SC for most of the error mass
+//! (queries in the same top-category share vocabulary), and with a random
+//! SC otherwise.
+
+use amoe_tensor::Rng;
+
+use crate::hierarchy::{CategoryHierarchy, ScId};
+
+/// Noisy query→SC classification channel.
+#[derive(Clone, Debug)]
+pub struct QueryClassifier {
+    accuracy: f64,
+    sibling_confusion: f64,
+}
+
+impl QueryClassifier {
+    /// Creates a channel with the given accuracy and sibling-confusion
+    /// fraction (of the error mass).
+    ///
+    /// # Panics
+    /// Panics if either probability is outside `[0, 1]`.
+    #[must_use]
+    pub fn new(accuracy: f64, sibling_confusion: f64) -> Self {
+        assert!((0.0..=1.0).contains(&accuracy));
+        assert!((0.0..=1.0).contains(&sibling_confusion));
+        QueryClassifier {
+            accuracy,
+            sibling_confusion,
+        }
+    }
+
+    /// Predicts the SC for a query whose true SC is `true_sc`.
+    pub fn predict(&self, hierarchy: &CategoryHierarchy, true_sc: ScId, rng: &mut Rng) -> ScId {
+        if rng.bernoulli(self.accuracy) {
+            return true_sc;
+        }
+        if rng.bernoulli(self.sibling_confusion) {
+            // A sibling other than the true SC, when one exists.
+            let sibs = hierarchy.subs_of(hierarchy.parent(true_sc));
+            if sibs.len() > 1 {
+                loop {
+                    let pick = sibs.start + rng.below(sibs.len());
+                    if pick != true_sc {
+                        return pick;
+                    }
+                }
+            }
+        }
+        // Uniform over all other SCs.
+        loop {
+            let pick = rng.below(hierarchy.num_sc());
+            if pick != true_sc {
+                return pick;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_channel_is_identity() {
+        let h = CategoryHierarchy::default();
+        let c = QueryClassifier::new(1.0, 0.5);
+        let mut rng = Rng::seed_from(1);
+        for sc in [0usize, 17, 95] {
+            for _ in 0..50 {
+                assert_eq!(c.predict(&h, sc, &mut rng), sc);
+            }
+        }
+    }
+
+    #[test]
+    fn accuracy_is_respected() {
+        let h = CategoryHierarchy::default();
+        let c = QueryClassifier::new(0.8, 0.5);
+        let mut rng = Rng::seed_from(2);
+        let n = 20_000;
+        let correct = (0..n)
+            .filter(|_| c.predict(&h, 10, &mut rng) == 10)
+            .count();
+        let rate = correct as f64 / n as f64;
+        assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
+    }
+
+    #[test]
+    fn errors_prefer_siblings() {
+        let h = CategoryHierarchy::default();
+        let c = QueryClassifier::new(0.0, 0.8); // always wrong
+        let mut rng = Rng::seed_from(3);
+        let true_sc = 20;
+        let n = 10_000;
+        let sibling_hits = (0..n)
+            .filter(|_| {
+                let p = c.predict(&h, true_sc, &mut rng);
+                p != true_sc && h.are_siblings(p, true_sc)
+            })
+            .count();
+        let rate = sibling_hits as f64 / n as f64;
+        // 0.8 sibling confusion plus the random branch occasionally
+        // landing on a sibling.
+        assert!(rate > 0.75, "sibling rate {rate}");
+    }
+
+    #[test]
+    fn never_returns_true_sc_when_wrong() {
+        let h = CategoryHierarchy::default();
+        let c = QueryClassifier::new(0.0, 0.5);
+        let mut rng = Rng::seed_from(4);
+        for _ in 0..2000 {
+            assert_ne!(c.predict(&h, 33, &mut rng), 33);
+        }
+    }
+}

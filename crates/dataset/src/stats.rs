@@ -1,0 +1,186 @@
+//! Dataset statistics in the shape of the paper's Table 1.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::data::{Dataset, Split};
+
+/// Table-1-style statistics for a generated dataset.
+#[derive(Clone, Debug)]
+pub struct DatasetStats {
+    /// Total train / test example counts.
+    pub data_size: (usize, usize),
+    /// Per named category: (name, train, test).
+    pub named_categories: Vec<(String, usize, usize)>,
+    /// Top-category counts (train, test).
+    pub num_top_categories: (usize, usize),
+    /// Sub-category counts (train, test).
+    pub num_sub_categories: (usize, usize),
+    /// Distinct query counts (train, test).
+    pub num_queries: (usize, usize),
+    /// Query/item pair counts (train, test) — distinct (query, brand,
+    /// price-bucket) product surrogates per query session stream.
+    pub num_query_item_pairs: (usize, usize),
+}
+
+fn distinct_tcs(split: &Split) -> usize {
+    split
+        .examples
+        .iter()
+        .map(|e| e.true_tc)
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+fn distinct_scs(split: &Split) -> usize {
+    split
+        .examples
+        .iter()
+        .map(|e| e.true_sc)
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+fn distinct_queries(split: &Split) -> usize {
+    split
+        .examples
+        .iter()
+        .map(|e| e.query)
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+fn query_item_pairs(split: &Split) -> usize {
+    split
+        .examples
+        .iter()
+        .map(|e| (e.query, e.brand, e.price_bucket, e.shop))
+        .collect::<HashSet<_>>()
+        .len()
+}
+
+impl DatasetStats {
+    /// Computes statistics for the paper's three named categories plus the
+    /// aggregate counts.
+    #[must_use]
+    pub fn compute(dataset: &Dataset) -> Self {
+        let named = ["Clothing", "Books", "Mobile Phone"];
+        let mut named_categories = Vec::new();
+        for name in named {
+            if let Some(tc) = dataset.hierarchy.tc_by_name(name) {
+                let train = dataset
+                    .train
+                    .examples
+                    .iter()
+                    .filter(|e| e.true_tc == tc)
+                    .count();
+                let test = dataset
+                    .test
+                    .examples
+                    .iter()
+                    .filter(|e| e.true_tc == tc)
+                    .count();
+                named_categories.push((name.to_string(), train, test));
+            }
+        }
+        DatasetStats {
+            data_size: (dataset.train.len(), dataset.test.len()),
+            named_categories,
+            num_top_categories: (distinct_tcs(&dataset.train), distinct_tcs(&dataset.test)),
+            num_sub_categories: (distinct_scs(&dataset.train), distinct_scs(&dataset.test)),
+            num_queries: (
+                distinct_queries(&dataset.train),
+                distinct_queries(&dataset.test),
+            ),
+            num_query_item_pairs: (
+                query_item_pairs(&dataset.train),
+                query_item_pairs(&dataset.test),
+            ),
+        }
+    }
+}
+
+impl fmt::Display for DatasetStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<34}{:>14}{:>14}", "Statistics", "Training Set", "Test Set")?;
+        writeln!(
+            f,
+            "{:<34}{:>14}{:>14}",
+            "Data Size / Complete", self.data_size.0, self.data_size.1
+        )?;
+        for (name, train, test) in &self.named_categories {
+            writeln!(
+                f,
+                "{:<34}{:>14}{:>14}",
+                format!("Data Size / {name}"),
+                train,
+                test
+            )?;
+        }
+        writeln!(
+            f,
+            "{:<34}{:>14}{:>14}",
+            "# of Top Categories", self.num_top_categories.0, self.num_top_categories.1
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>14}{:>14}",
+            "# of Sub Categories", self.num_sub_categories.0, self.num_sub_categories.1
+        )?;
+        writeln!(
+            f,
+            "{:<34}{:>14}{:>14}",
+            "# of queries", self.num_queries.0, self.num_queries.1
+        )?;
+        write!(
+            f,
+            "{:<34}{:>14}{:>14}",
+            "# of query/item pairs", self.num_query_item_pairs.0, self.num_query_item_pairs.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GeneratorConfig;
+    use crate::generator::generate;
+
+    #[test]
+    fn stats_consistent_with_dataset() {
+        let d = generate(&GeneratorConfig::tiny(1));
+        let s = DatasetStats::compute(&d);
+        assert_eq!(s.data_size.0, d.train.len());
+        assert_eq!(s.data_size.1, d.test.len());
+        assert_eq!(s.named_categories.len(), 3);
+        assert!(s.num_top_categories.0 <= d.hierarchy.num_tc());
+        assert!(s.num_sub_categories.0 <= d.hierarchy.num_sc());
+        assert!(s.num_queries.0 <= 120);
+    }
+
+    #[test]
+    fn named_sizes_sum_below_total() {
+        let d = generate(&GeneratorConfig::tiny(2));
+        let s = DatasetStats::compute(&d);
+        let named_total: usize = s.named_categories.iter().map(|(_, t, _)| t).sum();
+        assert!(named_total < s.data_size.0);
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let d = generate(&GeneratorConfig::tiny(3));
+        let text = DatasetStats::compute(&d).to_string();
+        for needle in [
+            "Data Size / Complete",
+            "Clothing",
+            "Books",
+            "Mobile Phone",
+            "# of Top Categories",
+            "# of Sub Categories",
+            "# of queries",
+            "# of query/item pairs",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,259 @@
+//! The generating ground truth: per-category purchase propensity models.
+//!
+//! This encodes the paper's Sec. 3 observations as the data-generating
+//! process:
+//!
+//! * **Inter-category variance** — each semantic class has its own base
+//!   weight template over the numeric features (e.g. good-comment ratio
+//!   matters most for fashion, sales volume for electronics and foods),
+//!   and each top-category jitters that template substantially.
+//! * **Intra-category similarity** — each sub-category perturbs its
+//!   parent's weights only slightly (`sibling_weight_noise`), so sibling
+//!   SCs have nearly identical optimal ranking strategies. This is the
+//!   structure the Hierarchical Soft Constraint exploits.
+//! * **Brand influence** — brand quality lifts the logit with a per-TC
+//!   strength: strong for electronics analogs, weak for fashion.
+
+use amoe_tensor::Rng;
+
+use crate::data::N_NUMERIC;
+use crate::hierarchy::{CategoryHierarchy, ScId, SemanticClass, TcId};
+
+/// Base numeric-feature weight template per semantic class, aligned with
+/// [`crate::data::NUMERIC_FEATURE_NAMES`]:
+/// `[price_z, sales_volume, good_comment_ratio, historical_ctr, rating,
+///   discount, shipping_speed, recency]`.
+fn class_template(class: SemanticClass) -> [f32; N_NUMERIC] {
+    match class {
+        SemanticClass::DailyNecessities => [-0.5, 1.4, 0.5, 1.0, 0.2, 0.7, 0.9, 0.1],
+        SemanticClass::Electronics => [-0.3, 1.7, 0.4, 1.0, 0.7, -0.5, 0.2, 0.6],
+        SemanticClass::Fashion => [-0.9, 0.4, 1.7, 1.0, 0.8, 1.0, 0.1, 0.9],
+    }
+}
+
+fn class_brand_strength(class: SemanticClass) -> f32 {
+    match class {
+        SemanticClass::Electronics => 1.4,
+        SemanticClass::DailyNecessities => 0.8,
+        SemanticClass::Fashion => 0.45,
+    }
+}
+
+/// The (hidden) data-generating model. Ranking models never see this;
+/// analyses and oracle baselines may.
+#[derive(Clone, Debug)]
+pub struct GroundTruth {
+    tc_weights: Vec<[f32; N_NUMERIC]>,
+    sc_weights: Vec<[f32; N_NUMERIC]>,
+    /// Per-SC coefficients of the two nonlinear interaction terms
+    /// (price x rating and sales x discount). These make each category's
+    /// optimal ranking function genuinely nonlinear, so a single small
+    /// shared tower cannot represent all categories at once — the
+    /// capacity regime the MoE targets.
+    sc_interactions: Vec<[f32; 2]>,
+    brand_strength: Vec<f32>,
+    /// Global bias on the purchase logit, calibrated by the generator to
+    /// hit the target purchase rate.
+    bias: f32,
+}
+
+impl GroundTruth {
+    /// Samples the ground truth for a hierarchy.
+    #[must_use]
+    pub fn build(hierarchy: &CategoryHierarchy, sibling_noise: f32, rng: &mut Rng) -> Self {
+        let mut tc_weights = Vec::with_capacity(hierarchy.num_tc());
+        let mut brand_strength = Vec::with_capacity(hierarchy.num_tc());
+        for tc in 0..hierarchy.num_tc() {
+            let class = hierarchy.tc_class(tc);
+            let template = class_template(class);
+            let mut w = [0f32; N_NUMERIC];
+            for (wi, &t) in w.iter_mut().zip(&template) {
+                // Substantial inter-TC jitter: 35% multiplicative plus an
+                // additive component large enough to flip the sign of the
+                // weaker weights — inter-category strategies genuinely
+                // conflict (Sec. 3).
+                *wi = t * (1.0 + rng.uniform_in(-0.35, 0.35)) + rng.normal_with(0.0, 0.3);
+            }
+            tc_weights.push(w);
+            brand_strength.push(class_brand_strength(class) * (1.0 + rng.uniform_in(-0.15, 0.15)));
+        }
+        // Per-TC interaction coefficients, inherited (with small noise)
+        // by the sub-categories.
+        let tc_interactions: Vec<[f32; 2]> = (0..hierarchy.num_tc())
+            .map(|_| [rng.normal_with(0.0, 0.8), rng.normal_with(0.0, 0.8)])
+            .collect();
+        let mut sc_weights = Vec::with_capacity(hierarchy.num_sc());
+        let mut sc_interactions = Vec::with_capacity(hierarchy.num_sc());
+        for sc in 0..hierarchy.num_sc() {
+            let parent = hierarchy.parent(sc);
+            let mut w = tc_weights[parent];
+            for wi in &mut w {
+                *wi *= 1.0 + rng.normal_with(0.0, sibling_noise);
+            }
+            sc_weights.push(w);
+            let mut iw = tc_interactions[parent];
+            for v in &mut iw {
+                *v *= 1.0 + rng.normal_with(0.0, sibling_noise);
+            }
+            sc_interactions.push(iw);
+        }
+        GroundTruth {
+            tc_weights,
+            sc_weights,
+            sc_interactions,
+            brand_strength,
+            bias: 0.0,
+        }
+    }
+
+    /// Purchase logit for a product in `sc` with the given latent numeric
+    /// features and brand quality (before label noise).
+    #[must_use]
+    pub fn logit(&self, sc: ScId, latent: &[f32; N_NUMERIC], brand_quality: f32) -> f32 {
+        let tc = self.tc_of(sc);
+        let w = &self.sc_weights[sc];
+        let dot: f32 = w.iter().zip(latent).map(|(a, b)| a * b).sum();
+        // Category-specific nonlinear interactions: price x rating and
+        // sales x discount (indices 0x4 and 1x5). Values are clamped so a
+        // single heavy-tailed draw cannot dominate the logit.
+        let iw = &self.sc_interactions[sc];
+        let ix1 = (latent[0] * latent[4]).clamp(-3.0, 3.0);
+        let ix2 = (latent[1] * latent[5]).clamp(-3.0, 3.0);
+        dot + iw[0] * ix1 + iw[1] * ix2 + self.brand_strength[tc] * brand_quality + self.bias
+    }
+
+    /// Interaction coefficients of a sub-category.
+    #[must_use]
+    pub fn sc_interaction(&self, sc: ScId) -> &[f32; 2] {
+        &self.sc_interactions[sc]
+    }
+
+    fn tc_of(&self, sc: ScId) -> TcId {
+        // sc_weights is parallel to the hierarchy's SC order; derive the
+        // parent by ratio (SC blocks are uniform). Stored implicitly to
+        // keep the struct lean.
+        sc * self.tc_weights.len() / self.sc_weights.len()
+    }
+
+    /// Ground-truth weight vector of a sub-category.
+    #[must_use]
+    pub fn sc_weight(&self, sc: ScId) -> &[f32; N_NUMERIC] {
+        &self.sc_weights[sc]
+    }
+
+    /// Ground-truth weight vector of a top-category.
+    #[must_use]
+    pub fn tc_weight(&self, tc: TcId) -> &[f32; N_NUMERIC] {
+        &self.tc_weights[tc]
+    }
+
+    /// Brand-quality multiplier of a top-category.
+    #[must_use]
+    pub fn brand_strength(&self, tc: TcId) -> f32 {
+        self.brand_strength[tc]
+    }
+
+    /// Current global bias.
+    #[must_use]
+    pub fn bias(&self) -> f32 {
+        self.bias
+    }
+
+    /// Sets the global logit bias (purchase-rate calibration).
+    pub fn set_bias(&mut self, bias: f32) {
+        self.bias = bias;
+    }
+}
+
+/// Mean absolute pairwise distance between weight vectors, used by tests
+/// and the Fig. 2 analysis to quantify inter- vs intra-category variance.
+#[must_use]
+pub fn mean_weight_distance(weights: &[&[f32; N_NUMERIC]]) -> f32 {
+    let n = weights.len();
+    if n < 2 {
+        return 0.0;
+    }
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for i in 0..n {
+        for j in i + 1..n {
+            let d: f32 = weights[i]
+                .iter()
+                .zip(weights[j])
+                .map(|(a, b)| (a - b).abs())
+                .sum::<f32>()
+                / N_NUMERIC as f32;
+            total += d;
+            pairs += 1;
+        }
+    }
+    total / pairs as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (CategoryHierarchy, GroundTruth) {
+        let h = CategoryHierarchy::default();
+        let mut rng = Rng::seed_from(7);
+        let t = GroundTruth::build(&h, 0.12, &mut rng);
+        (h, t)
+    }
+
+    #[test]
+    fn intra_tc_variance_much_smaller_than_inter() {
+        let (h, t) = setup();
+        // Mean distance between sibling SC weights within each TC.
+        let mut intra = Vec::new();
+        for tc in 0..h.num_tc() {
+            let ws: Vec<&[f32; N_NUMERIC]> = h.subs_of(tc).map(|sc| t.sc_weight(sc)).collect();
+            intra.push(mean_weight_distance(&ws));
+        }
+        let intra_mean: f32 = intra.iter().sum::<f32>() / intra.len() as f32;
+        // Mean distance between TC weights.
+        let tws: Vec<&[f32; N_NUMERIC]> = (0..h.num_tc()).map(|tc| t.tc_weight(tc)).collect();
+        let inter = mean_weight_distance(&tws);
+        assert!(
+            inter > 2.0 * intra_mean,
+            "inter {inter} should dwarf intra {intra_mean}"
+        );
+    }
+
+    #[test]
+    fn fashion_values_comments_electronics_values_volume() {
+        let (h, t) = setup();
+        let clothing = h.tc_by_name("Clothing").unwrap();
+        let computer = h.tc_by_name("Computer").unwrap();
+        const GCR: usize = 2; // good_comment_ratio
+        const SV: usize = 1; // sales_volume
+        assert!(t.tc_weight(clothing)[GCR] > t.tc_weight(computer)[GCR]);
+        assert!(t.tc_weight(computer)[SV] > t.tc_weight(clothing)[SV]);
+    }
+
+    #[test]
+    fn brand_strength_ordering() {
+        let (h, t) = setup();
+        let phone = h.tc_by_name("Mobile Phone").unwrap();
+        let clothing = h.tc_by_name("Clothing").unwrap();
+        assert!(t.brand_strength(phone) > t.brand_strength(clothing));
+    }
+
+    #[test]
+    fn tc_of_matches_hierarchy() {
+        let (h, t) = setup();
+        for sc in 0..h.num_sc() {
+            assert_eq!(t.tc_of(sc), h.parent(sc), "sc {sc}");
+        }
+    }
+
+    #[test]
+    fn bias_shifts_logit() {
+        let (_h, mut t) = setup();
+        let latent = [0.0; N_NUMERIC];
+        let l0 = t.logit(0, &latent, 0.0);
+        t.set_bias(1.5);
+        let l1 = t.logit(0, &latent, 0.0);
+        assert!((l1 - l0 - 1.5).abs() < 1e-6);
+    }
+}

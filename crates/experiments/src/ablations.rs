@@ -1,0 +1,137 @@
+//! Ablations of design choices inherited from Shazeer et al. (the
+//! paper's ref \[24\]) that the paper keeps but does not re-evaluate:
+//! noisy top-K gating and the load-balancing regularizer. Also sweeps
+//! the optimizer choice, since the paper fixes AdamW for all models.
+
+use std::fmt;
+
+use amoe_core::{MoeConfig, MoeModel, Trainer};
+
+use crate::suite::SuiteConfig;
+use crate::tablefmt::{m4, TextTable};
+
+/// One ablation row.
+pub struct AblationRow {
+    /// What was changed relative to the full Adv & HSC-MoE configuration.
+    pub variant: String,
+    /// Seed-averaged test AUC.
+    pub auc: f64,
+    /// Seed-averaged test NDCG.
+    pub ndcg: f64,
+}
+
+/// The ablation report.
+pub struct Ablations {
+    /// Rows: full model first, then each single-knob change.
+    pub rows: Vec<AblationRow>,
+}
+
+/// Runs the ablation suite.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Ablations {
+    let dataset = config.dataset();
+    let trainer = Trainer::new(config.train_config());
+    let seeds = config.seeds();
+    let full = MoeConfig {
+        adversarial: true,
+        hsc: true,
+        ..config.moe_config()
+    };
+
+    let variants: Vec<(&str, MoeConfig)> = vec![
+        ("full Adv & HSC-MoE", full.clone()),
+        (
+            "- noisy gating",
+            MoeConfig {
+                noisy_gating: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "- load balancing",
+            MoeConfig {
+                load_balance: 0.0,
+                ..full.clone()
+            },
+        ),
+        (
+            "- both (plain deterministic gate)",
+            MoeConfig {
+                noisy_gating: false,
+                load_balance: 0.0,
+                ..full.clone()
+            },
+        ),
+        (
+            "- HSC (Adv only)",
+            MoeConfig {
+                hsc: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "- Adv (HSC only)",
+            MoeConfig {
+                adversarial: false,
+                ..full.clone()
+            },
+        ),
+        (
+            "- both regularizers (plain MoE)",
+            MoeConfig {
+                adversarial: false,
+                hsc: false,
+                ..full
+            },
+        ),
+    ];
+
+    let rows = variants
+        .into_iter()
+        .map(|(label, cfg)| {
+            if config.verbose {
+                eprintln!("== ablation: {label} ==");
+            }
+            let (mut auc, mut ndcg) = (0.0, 0.0);
+            for &seed in &seeds {
+                let mut model =
+                    MoeModel::new(&dataset.meta, cfg.clone().with_seed(seed), config.optim);
+                trainer.fit(&mut model, &dataset.train);
+                let r = trainer.evaluate(&model, &dataset.test);
+                auc += r.auc;
+                ndcg += r.ndcg;
+            }
+            AblationRow {
+                variant: label.to_string(),
+                auc: auc / seeds.len() as f64,
+                ndcg: ndcg / seeds.len() as f64,
+            }
+        })
+        .collect();
+    Ablations { rows }
+}
+
+impl fmt::Display for Ablations {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Ablations of the Adv & HSC-MoE design choices")?;
+        let mut t = TextTable::new(&["Variant", "AUC", "NDCG"]);
+        for r in &self.rows {
+            t.row(&[r.variant.clone(), m4(r.auc), m4(r.ndcg)]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_ablation_shape() {
+        let a = run(&SuiteConfig::fast());
+        assert_eq!(a.rows.len(), 7);
+        assert_eq!(a.rows[0].variant, "full Adv & HSC-MoE");
+        assert!(a.rows.iter().all(|r| r.auc > 0.4 && r.auc < 1.0));
+        assert!(a.to_string().contains("load balancing"));
+    }
+}

@@ -1,0 +1,210 @@
+//! Table 7 / Fig. 8: the qualitative case study — per-item predicted
+//! scores of MoE vs Adv & HSC-MoE on one query session, with each
+//! model's ten per-expert scores and which experts the gates selected.
+
+use std::fmt;
+
+use amoe_core::MoeModel;
+use amoe_dataset::{Batch, Split};
+use amoe_tensor::Matrix;
+
+use crate::suite::{SuiteConfig, TrainedZoo};
+use crate::tablefmt::TextTable;
+
+/// One candidate item of the chosen session.
+pub struct CaseItem {
+    /// Purchase label.
+    pub label: bool,
+    /// Predicted score under plain MoE.
+    pub moe_score: f32,
+    /// Predicted score under Adv & HSC-MoE.
+    pub ours_score: f32,
+    /// Per-expert logits under MoE.
+    pub moe_experts: Vec<f32>,
+    /// MoE's selected expert indices.
+    pub moe_selected: Vec<usize>,
+    /// Per-expert logits under Adv & HSC-MoE.
+    pub ours_experts: Vec<f32>,
+    /// Adv & HSC-MoE's selected expert indices.
+    pub ours_selected: Vec<usize>,
+}
+
+/// The case-study report.
+pub struct CaseStudy {
+    /// Query id of the chosen session.
+    pub query: u32,
+    /// Top-category name of the session.
+    pub category: String,
+    /// The session's items (first is the purchased one when the search
+    /// found the paper's pattern).
+    pub items: Vec<CaseItem>,
+    /// Whether the paper's pattern was found: our model ranks the
+    /// positive above every negative while MoE misranks at least one.
+    pub ours_fixes_moe_error: bool,
+}
+
+fn scores_for(model: &MoeModel, split: &Split, idx: &[usize]) -> (Vec<f32>, Matrix, Matrix) {
+    use amoe_core::Ranker as _;
+    let batch = Batch::from_split(split, idx);
+    let probs = model.predict(&batch);
+    let (experts, mask) = model.expert_logits(&batch);
+    (probs, experts, mask)
+}
+
+/// Picks a session and extracts both models' per-expert anatomy.
+#[must_use]
+pub fn evaluate(zoo: &TrainedZoo) -> CaseStudy {
+    let test = &zoo.dataset.test;
+
+    // Prefer a session where Adv & HSC-MoE ranks the (single) positive
+    // on top while MoE misranks it — the paper's illustrative pattern.
+    // Rank candidates by how many places our model improves the
+    // positive's position over MoE, so we pick the starkest contrast.
+    let mut best: Option<(usize, isize, bool)> = None; // (session, gain, pattern)
+    for (si, r) in test.sessions.iter().enumerate() {
+        let idx: Vec<usize> = r.clone().collect();
+        let labels: Vec<bool> = idx.iter().map(|&i| test.examples[i].label).collect();
+        let pos = labels.iter().filter(|&&l| l).count();
+        if pos != 1 || labels.len() < 3 || labels.len() > 12 {
+            continue;
+        }
+        let batch = Batch::from_split(test, &idx);
+        use amoe_core::Ranker as _;
+        let ours = zoo.adv_hsc.predict(&batch);
+        let moe = zoo.moe.predict(&batch);
+        let pos_i = labels.iter().position(|&l| l).expect("one positive");
+        let rank_of = |scores: &[f32]| -> isize {
+            scores
+                .iter()
+                .enumerate()
+                .filter(|&(i, &s)| i != pos_i && s >= scores[pos_i])
+                .count() as isize
+        };
+        let (r_moe, r_ours) = (rank_of(&moe), rank_of(&ours));
+        let pattern = r_ours == 0 && r_moe > 0;
+        let gain = r_moe - r_ours;
+        let better = match best {
+            None => true,
+            Some((_, g, p)) => (pattern, gain) > (p, g),
+        };
+        if better {
+            best = Some((si, gain, pattern));
+        }
+    }
+    let (si, _gain, found) = best.expect("test set has a usable session");
+    let r = &test.sessions[si];
+    let idx: Vec<usize> = r.clone().collect();
+
+    let (moe_scores, moe_experts, moe_mask) = scores_for(&zoo.moe, test, &idx);
+    let (ours_scores, ours_experts, ours_mask) = scores_for(&zoo.adv_hsc, test, &idx);
+
+    let items = idx
+        .iter()
+        .enumerate()
+        .map(|(row, &i)| {
+            let selected = |mask: &Matrix| -> Vec<usize> {
+                (0..mask.cols()).filter(|&c| mask[(row, c)] > 0.0).collect()
+            };
+            CaseItem {
+                label: test.examples[i].label,
+                moe_score: moe_scores[row],
+                ours_score: ours_scores[row],
+                moe_experts: moe_experts.row(row).to_vec(),
+                moe_selected: selected(&moe_mask),
+                ours_experts: ours_experts.row(row).to_vec(),
+                ours_selected: selected(&ours_mask),
+            }
+        })
+        .collect();
+
+    let first = &test.examples[idx[0]];
+    CaseStudy {
+        query: first.query,
+        category: zoo.dataset.hierarchy.tc_name(first.true_tc).to_string(),
+        items,
+        ours_fixes_moe_error: found,
+    }
+}
+
+/// Trains the zoo and runs the case study.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> CaseStudy {
+    let zoo = TrainedZoo::train(config);
+    evaluate(&zoo)
+}
+
+fn fmt_experts(scores: &[f32], selected: &[usize]) -> String {
+    scores
+        .iter()
+        .enumerate()
+        .map(|(i, s)| {
+            if selected.contains(&i) {
+                format!("[{s:+.2}]")
+            } else {
+                format!(" {s:+.2} ")
+            }
+        })
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+impl fmt::Display for CaseStudy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 7 / Figure 8: case study — query {} ({}), {} items",
+            self.query,
+            self.category,
+            self.items.len()
+        )?;
+        writeln!(
+            f,
+            "(pattern \"ours fixes an MoE misranking\" found: {})",
+            self.ours_fixes_moe_error
+        )?;
+        let mut t = TextTable::new(&["item", "label", "MoE score", "Ours score"]);
+        for (i, item) in self.items.iter().enumerate() {
+            t.row(&[
+                format!("#{i}"),
+                u8::from(item.label).to_string(),
+                format!("{:.6}", item.moe_score),
+                format!("{:.6}", item.ours_score),
+            ]);
+        }
+        write!(f, "{}", t.render())?;
+        writeln!(f)?;
+        writeln!(f, "Per-expert logits ([x] = selected by the gate):")?;
+        for (i, item) in self.items.iter().enumerate() {
+            writeln!(f, "item #{i} (label {}):", u8::from(item.label))?;
+            writeln!(f, "  MoE : {}", fmt_experts(&item.moe_experts, &item.moe_selected))?;
+            writeln!(
+                f,
+                "  Ours: {}",
+                fmt_experts(&item.ours_experts, &item.ours_selected)
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_case_study_has_anatomy() {
+        let cs = run(&SuiteConfig::fast());
+        assert!(cs.items.len() >= 3);
+        assert_eq!(cs.items.iter().filter(|i| i.label).count(), 1);
+        for item in &cs.items {
+            assert_eq!(item.moe_experts.len(), 10);
+            assert_eq!(item.moe_selected.len(), 4);
+            assert_eq!(item.ours_selected.len(), 4);
+            assert!((0.0..=1.0).contains(&item.moe_score));
+            assert!((0.0..=1.0).contains(&item.ours_score));
+        }
+        let text = cs.to_string();
+        assert!(text.contains("Table 7"));
+        assert!(text.contains("Per-expert"));
+    }
+}

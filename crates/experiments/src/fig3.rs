@@ -1,0 +1,168 @@
+//! Fig. 3: brand concentration — the proportion and number of brands
+//! covering the top 80% of sales, across vs within top-categories.
+
+use std::fmt;
+
+use amoe_metrics::{brand_concentration, BrandConcentration};
+
+use crate::fig2::CATEGORIES;
+use crate::suite::SuiteConfig;
+use crate::tablefmt::TextTable;
+
+/// The Fig. 3 report.
+pub struct Fig3 {
+    /// Per top-category concentration (Fig. 3a), in [`CATEGORIES`] order.
+    pub inter: Vec<(String, BrandConcentration)>,
+    /// Per Foods-sub-category concentration (Fig. 3b).
+    pub intra: Vec<(String, BrandConcentration)>,
+    /// Variance of the covering proportion across top-categories.
+    pub inter_variance: f64,
+    /// Variance of the covering proportion across Foods sub-categories.
+    pub intra_variance: f64,
+}
+
+fn variance(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    let n = xs.len() as f64;
+    let mu = xs.iter().sum::<f64>() / n;
+    xs.iter().map(|x| (x - mu) * (x - mu)).sum::<f64>() / n
+}
+
+/// Computes the figure's data (80% sales-coverage threshold).
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Fig3 {
+    let dataset = config.dataset();
+    let share = 0.8;
+
+    let conc_for_tc = |tc: usize| -> Option<BrandConcentration> {
+        let obs: Vec<(usize, f32)> = dataset
+            .train
+            .examples
+            .iter()
+            .filter(|e| e.true_tc == tc)
+            .map(|e| (e.brand, e.raw_sales))
+            .collect();
+        brand_concentration(&obs, share)
+    };
+
+    let inter: Vec<(String, BrandConcentration)> = CATEGORIES
+        .iter()
+        .filter_map(|name| {
+            let tc = dataset.hierarchy.tc_by_name(name)?;
+            conc_for_tc(tc).map(|c| ((*name).to_string(), c))
+        })
+        .collect();
+
+    let foods = dataset.hierarchy.tc_by_name("Foods").expect("Foods");
+    let first = dataset.hierarchy.subs_of(foods).start;
+    let intra: Vec<(String, BrandConcentration)> = dataset
+        .hierarchy
+        .subs_of(foods)
+        .filter_map(|sc| {
+            let obs: Vec<(usize, f32)> = dataset
+                .train
+                .examples
+                .iter()
+                .filter(|e| e.true_sc == sc)
+                .map(|e| (e.brand, e.raw_sales))
+                .collect();
+            if obs.len() < 50 {
+                return None;
+            }
+            brand_concentration(&obs, share).map(|c| (format!("Foods/SC{}", sc - first), c))
+        })
+        .collect();
+
+    let inter_variance = variance(&inter.iter().map(|(_, c)| c.proportion).collect::<Vec<_>>());
+    let intra_variance = variance(&intra.iter().map(|(_, c)| c.proportion).collect::<Vec<_>>());
+
+    Fig3 {
+        inter,
+        intra,
+        inter_variance,
+        intra_variance,
+    }
+}
+
+fn render(rows: &[(String, BrandConcentration)]) -> String {
+    let mut t = TextTable::new(&["Category", "Brands", "Top-80% brands", "Proportion"]);
+    for (name, c) in rows {
+        t.row(&[
+            name.clone(),
+            c.total_brands.to_string(),
+            c.covering_brands.to_string(),
+            format!("{:.1}%", c.proportion * 100.0),
+        ]);
+    }
+    t.render()
+}
+
+impl fmt::Display for Fig3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 3(a): Brands covering the top 80% of sales, by top-category"
+        )?;
+        write!(f, "{}", render(&self.inter))?;
+        writeln!(f)?;
+        writeln!(f, "Figure 3(b): same, across Foods sub-categories")?;
+        write!(f, "{}", render(&self.intra))?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "Coverage-proportion variance: inter {:.5} vs intra {:.5}",
+            self.inter_variance, self.intra_variance
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fig() -> Fig3 {
+        run(&SuiteConfig {
+            scale: 0.4,
+            ..SuiteConfig::default()
+        })
+    }
+
+    #[test]
+    fn electronics_more_concentrated_than_sports() {
+        let f = fig();
+        let get = |name: &str| {
+            f.inter
+                .iter()
+                .find(|(n, _)| n == name)
+                .map(|(_, c)| c.proportion)
+                .unwrap_or_else(|| panic!("{name} missing"))
+        };
+        let electronics = get("Electronics");
+        let sports = get("Sports");
+        assert!(
+            electronics < sports,
+            "Electronics {electronics:.3} should need a smaller brand share than Sports {sports:.3}"
+        );
+    }
+
+    #[test]
+    fn inter_variance_exceeds_intra() {
+        let f = fig();
+        assert!(
+            f.inter_variance > f.intra_variance,
+            "inter {:.5} !> intra {:.5}",
+            f.inter_variance,
+            f.intra_variance
+        );
+    }
+
+    #[test]
+    fn all_five_categories_present() {
+        let f = fig();
+        assert_eq!(f.inter.len(), 5);
+        assert!(!f.intra.is_empty());
+        assert!(f.to_string().contains("Top-80%"));
+    }
+}

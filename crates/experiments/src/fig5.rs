@@ -1,0 +1,144 @@
+//! Fig. 5: AUC improvement over the DNN baseline per category-size
+//! bucket — the paper's evidence that the MoE variants (and especially
+//! HSC) help small categories most.
+
+use std::fmt;
+
+use amoe_core::{Ranker, Trainer};
+use amoe_dataset::buckets::size_buckets;
+
+use crate::suite::{SuiteConfig, TrainedZoo};
+use crate::tablefmt::{delta_pp, TextTable};
+
+/// Number of size buckets on the x-axis.
+pub const N_BUCKETS: usize = 4;
+
+/// One model's per-bucket AUC improvements over DNN.
+pub struct Fig5Line {
+    /// Model name.
+    pub name: String,
+    /// AUC delta vs DNN per bucket (ascending category size).
+    pub delta_auc: Vec<f64>,
+}
+
+/// The Fig. 5 report.
+pub struct Fig5 {
+    /// Train-example counts per bucket (the bar series).
+    pub bucket_sizes: Vec<usize>,
+    /// Which top-categories each bucket holds.
+    pub bucket_members: Vec<Vec<String>>,
+    /// One line per MoE-family model.
+    pub lines: Vec<Fig5Line>,
+}
+
+/// Evaluates a trained zoo per size bucket.
+#[must_use]
+pub fn evaluate(config: &SuiteConfig, zoo: &TrainedZoo) -> Fig5 {
+    let trainer = Trainer::new(config.train_config());
+    let num_tc = zoo.dataset.hierarchy.num_tc();
+    let (members, totals) = size_buckets(&zoo.dataset.train, num_tc, N_BUCKETS);
+
+    // Per-bucket test splits.
+    let bucket_tests: Vec<_> = members
+        .iter()
+        .map(|tcs| zoo.dataset.test.filter_tcs(tcs))
+        .collect();
+
+    let auc_per_bucket = |model: &dyn Ranker| -> Vec<f64> {
+        bucket_tests
+            .iter()
+            .map(|split| {
+                if split.is_empty() {
+                    0.5
+                } else {
+                    trainer.evaluate(model, split).auc
+                }
+            })
+            .collect()
+    };
+
+    let dnn_auc = auc_per_bucket(&zoo.dnn);
+    let mut lines = Vec::new();
+    let entries: Vec<(&str, &dyn Ranker)> = vec![
+        ("MoE", &zoo.moe),
+        ("Adv-MoE", &zoo.adv),
+        ("HSC-MoE", &zoo.hsc),
+        ("Adv & HSC-MoE", &zoo.adv_hsc),
+    ];
+    for (name, model) in entries {
+        let auc = auc_per_bucket(model);
+        lines.push(Fig5Line {
+            name: name.to_string(),
+            delta_auc: auc.iter().zip(&dnn_auc).map(|(a, d)| a - d).collect(),
+        });
+    }
+
+    let bucket_members = members
+        .iter()
+        .map(|tcs| {
+            tcs.iter()
+                .map(|&tc| zoo.dataset.hierarchy.tc_name(tc).to_string())
+                .collect()
+        })
+        .collect();
+
+    Fig5 {
+        bucket_sizes: totals,
+        bucket_members,
+        lines,
+    }
+}
+
+/// Trains the zoo and evaluates per bucket.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Fig5 {
+    let zoo = TrainedZoo::train(config);
+    evaluate(config, &zoo)
+}
+
+impl fmt::Display for Fig5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 5: AUC improvement over DNN per category-size bucket"
+        )?;
+        for (b, (size, names)) in self
+            .bucket_sizes
+            .iter()
+            .zip(&self.bucket_members)
+            .enumerate()
+        {
+            writeln!(f, "bucket {b}: {size} examples — {}", names.join(", "))?;
+        }
+        let mut header = vec!["Model".to_string()];
+        header.extend((0..self.bucket_sizes.len()).map(|b| format!("ΔAUC b{b}")));
+        let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+        let mut t = TextTable::new(&header_refs);
+        for line in &self.lines {
+            let mut row = vec![line.name.clone()];
+            row.extend(line.delta_auc.iter().map(|&d| delta_pp(d)));
+            t.row(&row);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_shape() {
+        let fig = run(&SuiteConfig::fast());
+        assert_eq!(fig.bucket_sizes.len(), N_BUCKETS);
+        assert_eq!(fig.lines.len(), 4);
+        for line in &fig.lines {
+            assert_eq!(line.delta_auc.len(), N_BUCKETS);
+        }
+        // Buckets ascend in size.
+        for b in 1..N_BUCKETS {
+            assert!(fig.bucket_sizes[b] >= fig.bucket_sizes[b - 1]);
+        }
+        assert!(fig.to_string().contains("bucket 0"));
+    }
+}

@@ -1,0 +1,230 @@
+//! Fig. 6 (and Table 4): t-SNE of inference-gate value vectors, coloured
+//! by semantic class.
+//!
+//! The paper inspects the 2-D embeddings visually; since a text harness
+//! cannot, we quantify the claim with silhouette scores over the Table 4
+//! semantic classes — computed both on the raw gate vectors and on the
+//! t-SNE embedding — and optionally dump the 2-D points as CSV for
+//! plotting. The expected ordering is
+//! `MoE < Adv-MoE < Adv & HSC-MoE`.
+
+use std::fmt;
+use std::path::Path;
+
+use amoe_core::MoeModel;
+use amoe_dataset::{Batch, SemanticClass};
+use amoe_metrics::silhouette_score;
+use amoe_tensor::{Matrix, Rng};
+use amoe_tsne::{tsne, TsneConfig};
+
+use crate::suite::{SuiteConfig, TrainedZoo};
+use crate::tablefmt::TextTable;
+
+/// Gate-vector clustering quality for one model.
+pub struct Fig6Row {
+    /// Model name.
+    pub name: String,
+    /// Silhouette of the raw gate probability vectors.
+    pub silhouette_gate: f64,
+    /// Silhouette of the 2-D t-SNE embedding.
+    pub silhouette_tsne: f64,
+    /// The embedded points (`n x 2`).
+    pub points: Matrix,
+    /// Semantic-class label per point (index into
+    /// [`SemanticClass::ALL`]).
+    pub labels: Vec<usize>,
+}
+
+/// The Fig. 6 report.
+pub struct Fig6 {
+    /// Rows for MoE, Adv-MoE, Adv & HSC-MoE (the paper's three panels).
+    pub rows: Vec<Fig6Row>,
+    /// The Table 4 grouping used for colouring: (class name, colour,
+    /// member top-categories).
+    pub grouping: Vec<(String, String, Vec<String>)>,
+}
+
+/// Number of test examples sampled for the embedding.
+pub const SAMPLE: usize = 420;
+
+fn sample_examples(zoo: &TrainedZoo, rng: &mut Rng) -> (Vec<usize>, Vec<usize>) {
+    // Stratify the sample across top-categories so small classes appear.
+    let test = &zoo.dataset.test;
+    let mut by_tc: Vec<Vec<usize>> = vec![Vec::new(); zoo.dataset.hierarchy.num_tc()];
+    for (i, e) in test.examples.iter().enumerate() {
+        by_tc[e.true_tc].push(i);
+    }
+    let per_tc = (SAMPLE / by_tc.iter().filter(|v| !v.is_empty()).count().max(1)).max(4);
+    let mut idx = Vec::new();
+    for pool in &by_tc {
+        if pool.is_empty() {
+            continue;
+        }
+        let take = per_tc.min(pool.len());
+        for &pick in rng.sample_distinct(pool.len(), take).iter() {
+            idx.push(pool[pick]);
+        }
+    }
+    let labels: Vec<usize> = idx
+        .iter()
+        .map(|&i| {
+            let class = zoo
+                .dataset
+                .hierarchy
+                .tc_class(test.examples[i].true_tc);
+            SemanticClass::ALL
+                .iter()
+                .position(|&c| c == class)
+                .expect("known class")
+        })
+        .collect();
+    (idx, labels)
+}
+
+fn embed_model(
+    name: &str,
+    model: &MoeModel,
+    zoo: &TrainedZoo,
+    idx: &[usize],
+    labels: &[usize],
+    seed: u64,
+) -> Fig6Row {
+    let batch = Batch::from_split(&zoo.dataset.test, idx);
+    let gate = model.gate_probs_full(&batch);
+    let silhouette_gate = silhouette_score(&gate, labels).unwrap_or(0.0);
+    let points = tsne(
+        &gate,
+        &TsneConfig {
+            perplexity: 25.0,
+            iterations: 300,
+            seed,
+            ..TsneConfig::default()
+        },
+    );
+    let silhouette_tsne = silhouette_score(&points, labels).unwrap_or(0.0);
+    Fig6Row {
+        name: name.to_string(),
+        silhouette_gate,
+        silhouette_tsne,
+        points,
+        labels: labels.to_vec(),
+    }
+}
+
+/// Computes the figure from a trained zoo.
+#[must_use]
+pub fn evaluate(config: &SuiteConfig, zoo: &TrainedZoo) -> Fig6 {
+    let mut rng = Rng::seed_from(config.data_seed ^ 0xF16);
+    let (idx, labels) = sample_examples(zoo, &mut rng);
+    let rows = vec![
+        embed_model("MoE", &zoo.moe, zoo, &idx, &labels, 61),
+        embed_model("Adv-MoE", &zoo.adv, zoo, &idx, &labels, 62),
+        embed_model("Adv & HSC-MoE", &zoo.adv_hsc, zoo, &idx, &labels, 63),
+    ];
+    let grouping = SemanticClass::ALL
+        .iter()
+        .map(|&class| {
+            let members: Vec<String> = (0..zoo.dataset.hierarchy.num_tc())
+                .filter(|&tc| zoo.dataset.hierarchy.tc_class(tc) == class)
+                .map(|tc| zoo.dataset.hierarchy.tc_name(tc).to_string())
+                .collect();
+            (class.name().to_string(), class.color().to_string(), members)
+        })
+        .collect();
+    Fig6 { rows, grouping }
+}
+
+/// Trains the zoo and computes the figure.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Fig6 {
+    let zoo = TrainedZoo::train(config);
+    evaluate(config, &zoo)
+}
+
+impl Fig6 {
+    /// Writes each panel's 2-D points as `fig6_<model>.csv`
+    /// (`x,y,class`) under `dir`.
+    pub fn write_csv(&self, dir: &Path) -> std::io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        for row in &self.rows {
+            let file = dir.join(format!(
+                "fig6_{}.csv",
+                row.name.to_lowercase().replace([' ', '&'], "_")
+            ));
+            let mut out = String::from("x,y,class\n");
+            for i in 0..row.points.rows() {
+                out.push_str(&format!(
+                    "{},{},{}\n",
+                    row.points[(i, 0)],
+                    row.points[(i, 1)],
+                    SemanticClass::ALL[row.labels[i]].name()
+                ));
+            }
+            std::fs::write(file, out)?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Fig6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 4: Coloring scheme of similar category grouping")?;
+        let mut t4 = TextTable::new(&["Semantic Class", "Color", "Representative Categories"]);
+        for (name, color, members) in &self.grouping {
+            t4.row(&[name.clone(), color.clone(), members.join(", ")]);
+        }
+        write!(f, "{}", t4.render())?;
+        writeln!(f)?;
+        writeln!(
+            f,
+            "Figure 6: clustering of inference-gate vectors by semantic class"
+        )?;
+        writeln!(
+            f,
+            "(silhouette score; higher = similar categories share experts more cleanly)"
+        )?;
+        let mut t = TextTable::new(&["Model", "silhouette(gate)", "silhouette(t-SNE 2D)"]);
+        for r in &self.rows {
+            t.row(&[
+                r.name.clone(),
+                format!("{:.4}", r.silhouette_gate),
+                format!("{:.4}", r.silhouette_tsne),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_three_panels() {
+        let fig = run(&SuiteConfig::fast());
+        assert_eq!(fig.rows.len(), 3);
+        assert_eq!(fig.rows[0].name, "MoE");
+        assert_eq!(fig.rows[2].name, "Adv & HSC-MoE");
+        for r in &fig.rows {
+            assert_eq!(r.points.rows(), r.labels.len());
+            assert!(r.points.all_finite());
+            assert!(r.silhouette_gate.is_finite());
+        }
+        assert_eq!(fig.grouping.len(), 3);
+        let s = fig.to_string();
+        assert!(s.contains("Table 4"));
+        assert!(s.contains("silhouette"));
+    }
+
+    #[test]
+    fn csv_dump_writes_files() {
+        let fig = run(&SuiteConfig::fast());
+        let dir = std::env::temp_dir().join(format!("amoe_fig6_{}", std::process::id()));
+        fig.write_csv(&dir).unwrap();
+        let moe_csv = dir.join("fig6_moe.csv");
+        let text = std::fs::read_to_string(&moe_csv).unwrap();
+        assert!(text.starts_with("x,y,class"));
+        assert!(text.lines().count() > 10);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

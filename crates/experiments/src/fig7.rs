@@ -1,0 +1,138 @@
+//! Fig. 7: the (N, K, D) hyper-parameter sweep of Adv & HSC-MoE.
+
+use std::fmt;
+
+use amoe_core::{MoeConfig, MoeModel, Trainer};
+
+use crate::suite::SuiteConfig;
+use crate::tablefmt::{m4, TextTable};
+
+/// One sweep point.
+pub struct Fig7Row {
+    /// Total experts.
+    pub n: usize,
+    /// Active experts.
+    pub k: usize,
+    /// Disagreeing experts.
+    pub d: usize,
+    /// Test AUC.
+    pub auc: f64,
+}
+
+/// The Fig. 7 report.
+pub struct Fig7 {
+    /// All sweep points.
+    pub rows: Vec<Fig7Row>,
+}
+
+/// The paper's sweep grid.
+pub const NS: [usize; 3] = [10, 16, 32];
+/// `K` values swept.
+pub const KS: [usize; 2] = [2, 4];
+/// `D` values swept.
+pub const DS: [usize; 2] = [1, 2];
+
+/// Runs the 12-configuration sweep.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Fig7 {
+    let dataset = config.dataset();
+    let trainer = Trainer::new(config.train_config());
+    let seeds = config.seeds();
+    let mut rows = Vec::new();
+    for &n in &NS {
+        for &k in &KS {
+            for &d in &DS {
+                if config.verbose {
+                    eprintln!("== fig7: N={n} K={k} D={d} ==");
+                }
+                let mut auc = 0.0;
+                for &seed in &seeds {
+                    let mut model = MoeModel::new(
+                        &dataset.meta,
+                        MoeConfig {
+                            n_experts: n,
+                            top_k: k,
+                            n_adversarial: d,
+                            adversarial: true,
+                            hsc: true,
+                            ..config.moe_config().with_seed(seed)
+                        },
+                        config.optim,
+                    );
+                    trainer.fit(&mut model, &dataset.train);
+                    auc += trainer.evaluate(&model, &dataset.test).auc;
+                }
+                rows.push(Fig7Row {
+                    n,
+                    k,
+                    d,
+                    auc: auc / seeds.len() as f64,
+                });
+            }
+        }
+    }
+    Fig7 { rows }
+}
+
+impl Fig7 {
+    /// The best configuration by AUC.
+    #[must_use]
+    pub fn best(&self) -> &Fig7Row {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.auc.partial_cmp(&b.auc).expect("finite"))
+            .expect("non-empty sweep")
+    }
+
+    /// AUC of a specific triple, if swept.
+    #[must_use]
+    pub fn auc_of(&self, n: usize, k: usize, d: usize) -> Option<f64> {
+        self.rows
+            .iter()
+            .find(|r| r.n == n && r.k == k && r.d == d)
+            .map(|r| r.auc)
+    }
+}
+
+impl fmt::Display for Fig7 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Figure 7: Adv & HSC-MoE under different (N, K, D) settings"
+        )?;
+        let mut t = TextTable::new(&["N", "K", "D", "AUC"]);
+        for r in &self.rows {
+            t.row(&[
+                r.n.to_string(),
+                r.k.to_string(),
+                r.d.to_string(),
+                m4(r.auc),
+            ]);
+        }
+        write!(f, "{}", t.render())?;
+        let b = self.best();
+        writeln!(f, "best: N={} K={} D={} (AUC {})", b.n, b.k, b.d, m4(b.auc))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tiny_sweep_covers_grid() {
+        // Use a reduced scale but the full grid shape.
+        let cfg = SuiteConfig {
+            scale: 0.02,
+            epochs: 1,
+            ..SuiteConfig::default()
+        };
+        let fig = run(&cfg);
+        assert_eq!(fig.rows.len(), NS.len() * KS.len() * DS.len());
+        assert!(fig.auc_of(10, 4, 1).is_some());
+        assert!(fig.auc_of(32, 2, 2).is_some());
+        assert!(fig.auc_of(99, 1, 1).is_none());
+        let b = fig.best();
+        assert!(fig.rows.iter().all(|r| r.auc <= b.auc));
+    }
+}

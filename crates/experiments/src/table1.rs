@@ -1,0 +1,43 @@
+//! Table 1: dataset statistics.
+
+use std::fmt;
+
+use amoe_dataset::DatasetStats;
+
+use crate::suite::SuiteConfig;
+
+/// The Table 1 report: statistics of the generated dataset.
+pub struct Table1 {
+    /// Computed statistics.
+    pub stats: DatasetStats,
+}
+
+/// Generates the dataset and computes its statistics.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Table1 {
+    let dataset = config.dataset();
+    Table1 {
+        stats: DatasetStats::compute(&dataset),
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 1: Datasets statistics (synthetic analog)")?;
+        write!(f, "{}", self.stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn runs_and_renders() {
+        let t = run(&SuiteConfig::fast());
+        let s = t.to_string();
+        assert!(s.contains("Table 1"));
+        assert!(s.contains("Mobile Phone"));
+        assert!(t.stats.data_size.0 > t.stats.data_size.1);
+    }
+}

@@ -1,0 +1,145 @@
+//! Table 2: the seven-model full evaluation (AUC, NDCG@10, NDCG).
+
+use std::fmt;
+
+use amoe_core::{EvalReport, Trainer};
+
+use crate::suite::{SuiteConfig, TrainedZoo};
+use crate::tablefmt::{m4, TextTable};
+
+/// One evaluated model row (seed-averaged when `run` is used).
+pub struct ModelRow {
+    /// Model name.
+    pub name: String,
+    /// Session-level evaluation on the test split (mean over seeds).
+    pub report: EvalReport,
+    /// Standard deviation of the AUC across seeds (0 for single-seed).
+    pub auc_std: f64,
+    /// Scalar parameter count.
+    pub parameters: usize,
+}
+
+/// The Table 2 report.
+pub struct Table2 {
+    /// Rows in the paper's order.
+    pub rows: Vec<ModelRow>,
+}
+
+/// Evaluates an already-trained zoo (lets `table2`, `fig5`, `fig6` and
+/// the case study share one training pass).
+#[must_use]
+pub fn evaluate(config: &SuiteConfig, zoo: &TrainedZoo) -> Table2 {
+    let trainer = Trainer::new(config.train_config());
+    let rows = zoo
+        .rankers()
+        .into_iter()
+        .map(|(name, model)| ModelRow {
+            name: name.to_string(),
+            report: trainer.evaluate(model, &zoo.dataset.test),
+            auc_std: 0.0,
+            parameters: model.num_parameters(),
+        })
+        .collect();
+    Table2 { rows }
+}
+
+/// Trains `config.n_seeds` zoos and reports seed-averaged metrics —
+/// the paper's effect sizes are fractions of an AUC point, comparable
+/// to single-run initialisation noise, so the headline table averages.
+/// Also returns the last zoo for reuse by the figure experiments.
+#[must_use]
+pub fn run_with_zoo(config: &SuiteConfig) -> (Table2, TrainedZoo) {
+    let seeds = config.seeds();
+    let mut tables: Vec<Table2> = Vec::new();
+    let mut last_zoo = None;
+    for (i, &seed) in seeds.iter().enumerate() {
+        if config.verbose {
+            eprintln!("== table2: zoo {}/{} (seed {seed}) ==", i + 1, seeds.len());
+        }
+        let zoo = TrainedZoo::train_with_seed(config, seed);
+        tables.push(evaluate(config, &zoo));
+        last_zoo = Some(zoo);
+    }
+    let n = tables.len() as f64;
+    let rows = (0..tables[0].rows.len())
+        .map(|r| {
+            let aucs: Vec<f64> = tables.iter().map(|t| t.rows[r].report.auc).collect();
+            let mean = |f: &dyn Fn(&EvalReport) -> f64| {
+                tables.iter().map(|t| f(&t.rows[r].report)).sum::<f64>() / n
+            };
+            let auc = mean(&|e| e.auc);
+            let auc_std =
+                (aucs.iter().map(|a| (a - auc) * (a - auc)).sum::<f64>() / n).sqrt();
+            ModelRow {
+                name: tables[0].rows[r].name.clone(),
+                report: EvalReport {
+                    auc,
+                    ndcg: mean(&|e| e.ndcg),
+                    ndcg_at_10: mean(&|e| e.ndcg_at_10),
+                    global_auc: mean(&|e| e.global_auc),
+                    log_loss: mean(&|e| e.log_loss),
+                    sessions: tables[0].rows[r].report.sessions,
+                },
+                auc_std,
+                parameters: tables[0].rows[r].parameters,
+            }
+        })
+        .collect();
+    (Table2 { rows }, last_zoo.expect("at least one seed"))
+}
+
+/// Trains the zoo(s) from scratch and evaluates (seed-averaged).
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Table2 {
+    run_with_zoo(config).0
+}
+
+impl Table2 {
+    /// Looks a row up by model name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&ModelRow> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for Table2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Table 2: Performance on Different Models")?;
+        let mut t = TextTable::new(&["Model", "AUC", "±std", "NDCG@10", "NDCG", "params"]);
+        for r in &self.rows {
+            t.row(&[
+                r.name.clone(),
+                m4(r.report.auc),
+                format!("{:.4}", r.auc_std),
+                m4(r.report.ndcg_at_10),
+                m4(r.report.ndcg),
+                r.parameters.to_string(),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_produces_seven_ordered_rows() {
+        let t = run(&SuiteConfig::fast());
+        assert_eq!(t.rows.len(), 7);
+        assert_eq!(t.rows[0].name, "DNN");
+        assert_eq!(t.rows[6].name, "Adv & HSC-MoE");
+        for r in &t.rows {
+            assert!(
+                r.report.auc > 0.5,
+                "{} AUC {:.4} at or below chance",
+                r.name,
+                r.report.auc
+            );
+            assert!(r.parameters > 0);
+        }
+        let s = t.to_string();
+        assert!(s.contains("NDCG@10"));
+    }
+}

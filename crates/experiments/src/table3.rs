@@ -1,0 +1,183 @@
+//! Table 3: cross-category training transfer — per-category DNNs vs a
+//! jointly trained DNN vs the jointly trained Adv & HSC-MoE, each tested
+//! on Mobile Phone (M), Books (B) and Clothing (C).
+
+use std::fmt;
+
+use amoe_core::{DnnModel, MoeConfig, MoeModel, Ranker, Trainer};
+use amoe_dataset::Split;
+
+use crate::suite::SuiteConfig;
+use crate::tablefmt::{m4, TextTable};
+
+/// Per test-category AUC of one model (None where the paper leaves a
+/// dash: single-category models are only tested on their own category).
+pub struct Table3Row {
+    /// Model label, e.g. `"M-DNN"`.
+    pub name: String,
+    /// Training set label, e.g. `"M"` or `"M + B + C"`.
+    pub train_set: String,
+    /// AUC on (Mobile Phone, Books, Clothing) test splits.
+    pub auc: [Option<f64>; 3],
+}
+
+/// The Table 3 report.
+pub struct Table3 {
+    /// Rows: M-DNN, B-DNN, C-DNN, Joint-DNN, Joint-Ours.
+    pub rows: Vec<Table3Row>,
+    /// Training-example counts of the M, B, C splits (for context).
+    pub train_sizes: [usize; 3],
+}
+
+const CATS: [(&str, &str); 3] = [("Mobile Phone", "M"), ("Books", "B"), ("Clothing", "C")];
+
+/// Runs the experiment.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Table3 {
+    let dataset = config.dataset();
+    let trainer = Trainer::new(config.train_config());
+    let optim = config.optim;
+    let base = config.moe_config();
+
+    let tcs: Vec<usize> = CATS
+        .iter()
+        .map(|(name, _)| {
+            dataset
+                .hierarchy
+                .tc_by_name(name)
+                .unwrap_or_else(|| panic!("category {name} missing from hierarchy"))
+        })
+        .collect();
+    let train_splits: Vec<Split> = tcs.iter().map(|&tc| dataset.train.filter_tcs(&[tc])).collect();
+    let test_splits: Vec<Split> = tcs.iter().map(|&tc| dataset.test.filter_tcs(&[tc])).collect();
+    let joint_train = dataset.train.filter_tcs(&tcs);
+
+    let eval_on = |model: &dyn Ranker, which: usize| -> f64 {
+        trainer.evaluate(model, &test_splits[which]).auc
+    };
+
+    let seeds = config.seeds();
+    let ns = seeds.len() as f64;
+    let mut rows = Vec::new();
+
+    // Single-category DNNs (tested only on their own category, as in the
+    // paper).
+    for (i, (_, short)) in CATS.iter().enumerate() {
+        let mut mean = 0.0;
+        for &seed in &seeds {
+            let mut dnn = DnnModel::new(&dataset.meta, &base.clone().with_seed(seed), optim);
+            trainer.fit(&mut dnn, &train_splits[i]);
+            mean += eval_on(&dnn, i);
+        }
+        let mut auc = [None, None, None];
+        auc[i] = Some(mean / ns);
+        rows.push(Table3Row {
+            name: format!("{short}-DNN"),
+            train_set: (*short).to_string(),
+            auc,
+        });
+    }
+
+    // Joint DNN.
+    let mut joint_auc = [0.0f64; 3];
+    for &seed in &seeds {
+        let mut joint_dnn = DnnModel::new(&dataset.meta, &base.clone().with_seed(seed), optim);
+        trainer.fit(&mut joint_dnn, &joint_train);
+        for (i, acc) in joint_auc.iter_mut().enumerate() {
+            *acc += eval_on(&joint_dnn, i);
+        }
+    }
+    rows.push(Table3Row {
+        name: "Joint-DNN".to_string(),
+        train_set: "M + B + C".to_string(),
+        auc: joint_auc.map(|a| Some(a / ns)),
+    });
+
+    // Joint Adv & HSC-MoE.
+    let mut ours_auc = [0.0f64; 3];
+    for &seed in &seeds {
+        let mut ours = MoeModel::new(
+            &dataset.meta,
+            MoeConfig {
+                adversarial: true,
+                hsc: true,
+                ..base.clone().with_seed(seed)
+            },
+            optim,
+        );
+        trainer.fit(&mut ours, &joint_train);
+        for (i, acc) in ours_auc.iter_mut().enumerate() {
+            *acc += eval_on(&ours, i);
+        }
+    }
+    rows.push(Table3Row {
+        name: "Joint-Ours".to_string(),
+        train_set: "M + B + C".to_string(),
+        auc: ours_auc.map(|a| Some(a / ns)),
+    });
+
+    Table3 {
+        rows,
+        train_sizes: [
+            train_splits[0].len(),
+            train_splits[1].len(),
+            train_splits[2].len(),
+        ],
+    }
+}
+
+impl Table3 {
+    /// Looks a row up by name.
+    #[must_use]
+    pub fn row(&self, name: &str) -> Option<&Table3Row> {
+        self.rows.iter().find(|r| r.name == name)
+    }
+}
+
+impl fmt::Display for Table3 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 3: Evaluations on different training and testing datasets"
+        )?;
+        writeln!(
+            f,
+            "(train sizes: M={}, B={}, C={})",
+            self.train_sizes[0], self.train_sizes[1], self.train_sizes[2]
+        )?;
+        let mut t = TextTable::new(&["Model", "Train set", "M", "B", "C"]);
+        for r in &self.rows {
+            let cell = |v: Option<f64>| v.map_or_else(|| "-".to_string(), m4);
+            t.row(&[
+                r.name.clone(),
+                r.train_set.clone(),
+                cell(r.auc[0]),
+                cell(r.auc[1]),
+                cell(r.auc[2]),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_shape() {
+        let t = run(&SuiteConfig::fast());
+        assert_eq!(t.rows.len(), 5);
+        // Single-category rows only fill their own cell.
+        assert!(t.row("M-DNN").unwrap().auc[0].is_some());
+        assert!(t.row("M-DNN").unwrap().auc[1].is_none());
+        assert!(t.row("C-DNN").unwrap().auc[2].is_some());
+        // Joint rows fill everything.
+        assert!(t.row("Joint-Ours").unwrap().auc.iter().all(Option::is_some));
+        // Clothing's train split is the smallest of the three.
+        assert!(t.train_sizes[2] < t.train_sizes[0]);
+        assert!(t.train_sizes[2] < t.train_sizes[1]);
+        let s = t.to_string();
+        assert!(s.contains("Joint-DNN"));
+    }
+}

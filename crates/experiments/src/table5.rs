@@ -1,0 +1,105 @@
+//! Table 5: gate-input feature ablation — SC only vs progressively
+//! richer gate inputs. The paper's setting: N = 10, K = 4, D = 1,
+//! λ₁ = λ₂ = 1e-2.
+
+use std::fmt;
+
+use amoe_core::{GateInput, MoeConfig, MoeModel, Trainer};
+
+use crate::suite::SuiteConfig;
+use crate::tablefmt::{m4, TextTable};
+
+/// One ablation row.
+pub struct Table5Row {
+    /// Gate-input description, matching the paper's wording.
+    pub gate_input: String,
+    /// Which ablation it is.
+    pub which: GateInput,
+    /// Test AUC.
+    pub auc: f64,
+}
+
+/// The Table 5 report.
+pub struct Table5 {
+    /// Rows in the paper's order.
+    pub rows: Vec<Table5Row>,
+}
+
+const VARIANTS: [(GateInput, &str); 5] = [
+    (GateInput::Sc, "SC"),
+    (GateInput::TcSc, "(TC, SC)"),
+    (GateInput::QueryTcSc, "(query, TC, SC)"),
+    (GateInput::UserTcSc, "(user feature, TC, SC)"),
+    (GateInput::All, "all features"),
+];
+
+/// Runs the ablation: one Adv & HSC-MoE training per gate-input variant.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Table5 {
+    let dataset = config.dataset();
+    let trainer = Trainer::new(config.train_config());
+    // Paper Table 5 uses λ = 1e-2 for both multipliers.
+    let base = MoeConfig {
+        adversarial: true,
+        hsc: true,
+        lambda1: 1e-2,
+        lambda2: 1e-2,
+        ..config.moe_config()
+    };
+    let seeds = config.seeds();
+    let rows = VARIANTS
+        .iter()
+        .map(|&(which, label)| {
+            if config.verbose {
+                eprintln!("== table5: gate input {label} ==");
+            }
+            let mut auc = 0.0;
+            for &seed in &seeds {
+                let mut model = MoeModel::new(
+                    &dataset.meta,
+                    MoeConfig {
+                        gate_input: which,
+                        ..base.clone().with_seed(seed)
+                    },
+                    config.optim,
+                );
+                trainer.fit(&mut model, &dataset.train);
+                auc += trainer.evaluate(&model, &dataset.test).auc;
+            }
+            Table5Row {
+                gate_input: label.to_string(),
+                which,
+                auc: auc / seeds.len() as f64,
+            }
+        })
+        .collect();
+    Table5 { rows }
+}
+
+impl fmt::Display for Table5 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 5: Model performance with different gate input features"
+        )?;
+        let mut t = TextTable::new(&["gate input feature", "AUC"]);
+        for r in &self.rows {
+            t.row(&[r.gate_input.clone(), m4(r.auc)]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_run_covers_all_variants() {
+        let t = run(&SuiteConfig::fast());
+        assert_eq!(t.rows.len(), 5);
+        assert_eq!(t.rows[0].gate_input, "SC");
+        assert!(t.rows.iter().all(|r| r.auc > 0.4));
+        assert!(t.to_string().contains("all features"));
+    }
+}

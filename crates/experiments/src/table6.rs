@@ -1,0 +1,115 @@
+//! Table 6: the λ₁ × λ₂ grid search over {1e-1, 1e-2, 1e-3}² for the
+//! Adv & HSC-MoE objective (N = 10, K = 4, D = 1).
+
+use std::fmt;
+
+use amoe_core::{MoeConfig, MoeModel, Trainer};
+
+use crate::suite::SuiteConfig;
+use crate::tablefmt::{m4, TextTable};
+
+/// One grid cell.
+pub struct Table6Row {
+    /// HSC weight.
+    pub lambda1: f32,
+    /// AdvLoss weight.
+    pub lambda2: f32,
+    /// Test AUC.
+    pub auc: f64,
+}
+
+/// The Table 6 report.
+pub struct Table6 {
+    /// All nine cells, λ₁-major as in the paper.
+    pub rows: Vec<Table6Row>,
+}
+
+/// The grid the paper sweeps.
+pub const LAMBDAS: [f32; 3] = [1e-1, 1e-2, 1e-3];
+
+/// Runs the nine-run grid.
+#[must_use]
+pub fn run(config: &SuiteConfig) -> Table6 {
+    let dataset = config.dataset();
+    let trainer = Trainer::new(config.train_config());
+    let seeds = config.seeds();
+    let mut rows = Vec::with_capacity(9);
+    for &l1 in &LAMBDAS {
+        for &l2 in &LAMBDAS {
+            if config.verbose {
+                eprintln!("== table6: λ1={l1:.0e} λ2={l2:.0e} ==");
+            }
+            let mut auc = 0.0;
+            for &seed in &seeds {
+                let mut model = MoeModel::new(
+                    &dataset.meta,
+                    MoeConfig {
+                        adversarial: true,
+                        hsc: true,
+                        lambda1: l1,
+                        lambda2: l2,
+                        ..config.moe_config().with_seed(seed)
+                    },
+                    config.optim,
+                );
+                trainer.fit(&mut model, &dataset.train);
+                auc += trainer.evaluate(&model, &dataset.test).auc;
+            }
+            rows.push(Table6Row {
+                lambda1: l1,
+                lambda2: l2,
+                auc: auc / seeds.len() as f64,
+            });
+        }
+    }
+    Table6 { rows }
+}
+
+impl Table6 {
+    /// The best cell by AUC.
+    #[must_use]
+    pub fn best(&self) -> &Table6Row {
+        self.rows
+            .iter()
+            .max_by(|a, b| a.auc.partial_cmp(&b.auc).expect("finite AUC"))
+            .expect("nine rows")
+    }
+}
+
+impl fmt::Display for Table6 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "Table 6: Experiments with different combinations of λ1 and λ2"
+        )?;
+        let mut t = TextTable::new(&["λ1", "λ2", "AUC"]);
+        for r in &self.rows {
+            t.row(&[
+                format!("{:.0e}", r.lambda1),
+                format!("{:.0e}", r.lambda2),
+                m4(r.auc),
+            ]);
+        }
+        write!(f, "{}", t.render())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_nine_cells() {
+        // Tiny but complete grid run.
+        let cfg = SuiteConfig {
+            scale: 0.03,
+            epochs: 1,
+            ..SuiteConfig::default()
+        };
+        let t = run(&cfg);
+        assert_eq!(t.rows.len(), 9);
+        let b = t.best();
+        assert!(b.auc >= t.rows[0].auc);
+        assert!(t.to_string().contains("1e-3") || t.to_string().contains("1e-3"));
+    }
+}

@@ -1,0 +1,140 @@
+//! ROC-AUC, global and per-session.
+
+use crate::SessionEval;
+
+/// ROC-AUC of `scores` against binary `labels` via the Mann–Whitney
+/// statistic with tie correction (ties count 1/2).
+///
+/// Returns `None` when the labels are single-class (AUC undefined).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn roc_auc(scores: &[f32], labels: &[bool]) -> Option<f64> {
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "roc_auc: {} scores vs {} labels",
+        scores.len(),
+        labels.len()
+    );
+    let pos = labels.iter().filter(|&&l| l).count();
+    let neg = labels.len() - pos;
+    if pos == 0 || neg == 0 {
+        return None;
+    }
+    // Rank-based computation: O(n log n), exact tie handling via average
+    // ranks.
+    let mut idx: Vec<usize> = (0..scores.len()).collect();
+    idx.sort_by(|&a, &b| {
+        scores[a]
+            .partial_cmp(&scores[b])
+            .expect("roc_auc: NaN score")
+    });
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < idx.len() {
+        let mut j = i;
+        while j + 1 < idx.len() && scores[idx[j + 1]] == scores[idx[i]] {
+            j += 1;
+        }
+        // Average rank for the tie group [i, j] (1-based ranks).
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for &k in &idx[i..=j] {
+            if labels[k] {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    let pos_f = pos as f64;
+    let neg_f = neg as f64;
+    let u = rank_sum_pos - pos_f * (pos_f + 1.0) / 2.0;
+    Some(u / (pos_f * neg_f))
+}
+
+/// Mean per-session AUC over sessions where it is defined, per the
+/// paper's evaluation protocol. Returns `None` if no session qualifies.
+#[must_use]
+pub fn session_auc(sessions: &[SessionEval<'_>]) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for s in sessions {
+        if let Some(a) = roc_auc(s.scores, s.labels) {
+            total += a;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let auc = roc_auc(&[0.9, 0.8, 0.2, 0.1], &[true, true, false, false]).unwrap();
+        assert!((auc - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_is_zero() {
+        let auc = roc_auc(&[0.1, 0.9], &[true, false]).unwrap();
+        assert!(auc.abs() < 1e-12);
+    }
+
+    #[test]
+    fn ties_give_half() {
+        let auc = roc_auc(&[0.5, 0.5], &[true, false]).unwrap();
+        assert!((auc - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn single_class_undefined() {
+        assert!(roc_auc(&[0.1, 0.2], &[true, true]).is_none());
+        assert!(roc_auc(&[0.1, 0.2], &[false, false]).is_none());
+    }
+
+    #[test]
+    fn matches_pairwise_definition() {
+        // Brute-force pairwise comparison on a small random-ish case.
+        let scores = [0.3f32, 0.7, 0.7, 0.1, 0.9, 0.4];
+        let labels = [false, true, false, false, true, true];
+        let fast = roc_auc(&scores, &labels).unwrap();
+        let mut num = 0.0f64;
+        let mut den = 0.0f64;
+        for i in 0..6 {
+            for j in 0..6 {
+                if labels[i] && !labels[j] {
+                    den += 1.0;
+                    if scores[i] > scores[j] {
+                        num += 1.0;
+                    } else if scores[i] == scores[j] {
+                        num += 0.5;
+                    }
+                }
+            }
+        }
+        assert!((fast - num / den).abs() < 1e-12, "{fast} vs {}", num / den);
+    }
+
+    #[test]
+    fn session_auc_averages_and_skips() {
+        let s1 = SessionEval {
+            scores: &[0.9, 0.1],
+            labels: &[true, false], // AUC 1
+        };
+        let s2 = SessionEval {
+            scores: &[0.1, 0.9],
+            labels: &[true, false], // AUC 0
+        };
+        let skip = SessionEval {
+            scores: &[0.5, 0.6],
+            labels: &[false, false], // undefined
+        };
+        let avg = session_auc(&[s1, s2, skip]).unwrap();
+        assert!((avg - 0.5).abs() < 1e-12);
+        assert!(session_auc(&[]).is_none());
+    }
+}

@@ -1,0 +1,91 @@
+//! Probability calibration: expected calibration error (ECE).
+//!
+//! Ranking metrics (AUC/NDCG) are invariant to monotone score
+//! transforms, but a deployed CTR/CVR model's *probabilities* feed
+//! bidding and blending downstream, so calibration is tracked alongside
+//! them in industrial systems like the paper's.
+
+/// Expected calibration error with equal-width probability bins:
+/// `Σ_b (n_b / n) · |mean_conf_b − frac_pos_b|`.
+///
+/// Returns `None` for empty input.
+///
+/// # Panics
+/// Panics if `bins == 0` or lengths differ.
+#[must_use]
+pub fn expected_calibration_error(probs: &[f32], labels: &[bool], bins: usize) -> Option<f64> {
+    assert!(bins > 0, "expected_calibration_error: bins must be > 0");
+    assert_eq!(
+        probs.len(),
+        labels.len(),
+        "expected_calibration_error: {} probs vs {} labels",
+        probs.len(),
+        labels.len()
+    );
+    if probs.is_empty() {
+        return None;
+    }
+    let mut count = vec![0usize; bins];
+    let mut conf = vec![0f64; bins];
+    let mut pos = vec![0usize; bins];
+    for (&p, &y) in probs.iter().zip(labels) {
+        let p = f64::from(p).clamp(0.0, 1.0);
+        let b = ((p * bins as f64) as usize).min(bins - 1);
+        count[b] += 1;
+        conf[b] += p;
+        pos[b] += usize::from(y);
+    }
+    let n = probs.len() as f64;
+    let mut ece = 0.0;
+    for b in 0..bins {
+        if count[b] == 0 {
+            continue;
+        }
+        let mean_conf = conf[b] / count[b] as f64;
+        let frac_pos = pos[b] as f64 / count[b] as f64;
+        ece += (count[b] as f64 / n) * (mean_conf - frac_pos).abs();
+    }
+    Some(ece)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfectly_calibrated_is_zero() {
+        // Probability 0.5 with exactly half positives.
+        let probs = vec![0.5f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&probs, &labels, 10).unwrap();
+        assert!(ece < 1e-9, "ece {ece}");
+    }
+
+    #[test]
+    fn overconfident_is_penalised() {
+        // Predicts 0.9 but only 50% positives.
+        let probs = vec![0.9f32; 100];
+        let labels: Vec<bool> = (0..100).map(|i| i % 2 == 0).collect();
+        let ece = expected_calibration_error(&probs, &labels, 10).unwrap();
+        assert!((ece - 0.4).abs() < 1e-6, "ece {ece}");
+    }
+
+    #[test]
+    fn empty_is_none() {
+        assert!(expected_calibration_error(&[], &[], 10).is_none());
+    }
+
+    #[test]
+    fn extreme_probs_binned_safely() {
+        let probs = [0.0f32, 1.0, 0.999, 0.001];
+        let labels = [false, true, true, false];
+        let ece = expected_calibration_error(&probs, &labels, 10).unwrap();
+        assert!(ece < 0.01, "ece {ece}");
+    }
+
+    #[test]
+    #[should_panic(expected = "bins must be")]
+    fn zero_bins_panics() {
+        let _ = expected_calibration_error(&[0.5], &[true], 0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Brand sales concentration (paper Fig. 3): how many brands cover the
+//! top 80% of sales volume in a category.
+
+use std::collections::HashMap;
+
+/// Result of a brand-concentration analysis over one category.
+#[derive(Clone, Debug, PartialEq)]
+pub struct BrandConcentration {
+    /// Distinct brands observed.
+    pub total_brands: usize,
+    /// Smallest number of brands (by descending sales) covering at least
+    /// the requested share of total sales.
+    pub covering_brands: usize,
+    /// `covering_brands / total_brands`.
+    pub proportion: f64,
+}
+
+/// Computes the minimal brand set covering `share` (e.g. 0.8) of the
+/// total sales volume from `(brand, sales)` observations.
+///
+/// Returns `None` for empty input or non-positive total sales.
+///
+/// # Panics
+/// Panics if `share` is not in `(0, 1]`.
+#[must_use]
+pub fn brand_concentration(observations: &[(usize, f32)], share: f64) -> Option<BrandConcentration> {
+    assert!(
+        share > 0.0 && share <= 1.0,
+        "brand_concentration: share must be in (0,1], got {share}"
+    );
+    if observations.is_empty() {
+        return None;
+    }
+    let mut by_brand: HashMap<usize, f64> = HashMap::new();
+    for &(brand, sales) in observations {
+        *by_brand.entry(brand).or_insert(0.0) += f64::from(sales.max(0.0));
+    }
+    let total: f64 = by_brand.values().sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let mut sales: Vec<f64> = by_brand.values().copied().collect();
+    sales.sort_by(|a, b| b.partial_cmp(a).expect("finite sales"));
+    let target = share * total;
+    let mut acc = 0.0;
+    let mut covering = 0usize;
+    for s in &sales {
+        acc += s;
+        covering += 1;
+        if acc >= target {
+            break;
+        }
+    }
+    let total_brands = sales.len();
+    Some(BrandConcentration {
+        total_brands,
+        covering_brands: covering,
+        proportion: covering as f64 / total_brands as f64,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_dominant_brand() {
+        // Brand 0 holds 90% of sales: one brand covers 80%.
+        let obs = [(0usize, 90.0f32), (1, 5.0), (2, 5.0)];
+        let c = brand_concentration(&obs, 0.8).unwrap();
+        assert_eq!(c.covering_brands, 1);
+        assert_eq!(c.total_brands, 3);
+        assert!((c.proportion - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn uniform_brands_need_most() {
+        let obs: Vec<(usize, f32)> = (0..10).map(|b| (b, 10.0)).collect();
+        let c = brand_concentration(&obs, 0.8).unwrap();
+        assert_eq!(c.covering_brands, 8);
+    }
+
+    #[test]
+    fn aggregates_repeat_observations() {
+        let obs = [(0usize, 10.0f32), (0, 10.0), (1, 5.0)];
+        let c = brand_concentration(&obs, 0.8).unwrap();
+        // Brand 0 has 20 of 25 = 80%: exactly covered by one brand.
+        assert_eq!(c.covering_brands, 1);
+    }
+
+    #[test]
+    fn empty_and_zero_sales() {
+        assert!(brand_concentration(&[], 0.8).is_none());
+        assert!(brand_concentration(&[(0, 0.0)], 0.8).is_none());
+    }
+
+    #[test]
+    fn steeper_distribution_concentrates_more() {
+        let steep: Vec<(usize, f32)> = (0..50)
+            .map(|b| (b, ((b + 1) as f32).powf(-1.6) * 1000.0))
+            .collect();
+        let flat: Vec<(usize, f32)> = (0..50)
+            .map(|b| (b, ((b + 1) as f32).powf(-0.7) * 1000.0))
+            .collect();
+        let cs = brand_concentration(&steep, 0.8).unwrap();
+        let cf = brand_concentration(&flat, 0.8).unwrap();
+        assert!(
+            cs.covering_brands < cf.covering_brands,
+            "steep {} !< flat {}",
+            cs.covering_brands,
+            cf.covering_brands
+        );
+    }
+}

@@ -1,0 +1,99 @@
+//! Feature importance (paper Eq. 1): the mean per-session ROC-AUC of
+//! ranking by a single raw feature against the purchase label.
+
+use amoe_dataset::{Split, N_NUMERIC};
+
+use crate::auc::roc_auc;
+
+/// Computes `FI(f)` (Eq. 1) for numeric feature `feature_idx` over the
+/// sessions of `split`, optionally restricted to sessions whose items
+/// belong to `tc_filter` / `sc_filter` (true categories).
+///
+/// Sessions without both label classes are skipped, matching the AUC
+/// convention. Returns `None` when no session qualifies.
+#[must_use]
+pub fn feature_importance(
+    split: &Split,
+    feature_idx: usize,
+    tc_filter: Option<usize>,
+    sc_filter: Option<usize>,
+) -> Option<f64> {
+    assert!(
+        feature_idx < N_NUMERIC,
+        "feature_importance: feature {feature_idx} out of {N_NUMERIC}"
+    );
+    let mut total = 0.0;
+    let mut n = 0usize;
+    let mut scores = Vec::new();
+    let mut labels = Vec::new();
+    for r in &split.sessions {
+        scores.clear();
+        labels.clear();
+        for e in &split.examples[r.clone()] {
+            if let Some(tc) = tc_filter {
+                if e.true_tc != tc {
+                    continue;
+                }
+            }
+            if let Some(sc) = sc_filter {
+                if e.true_sc != sc {
+                    continue;
+                }
+            }
+            scores.push(e.numeric[feature_idx]);
+            labels.push(e.label);
+        }
+        if scores.len() < 2 {
+            continue;
+        }
+        if let Some(a) = roc_auc(&scores, &labels) {
+            total += a;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoe_dataset::{generate, GeneratorConfig};
+
+    #[test]
+    fn informative_feature_beats_half() {
+        // sales_volume (index 1) carries strong positive ground-truth
+        // weight in most categories, so its FI must exceed 0.5 overall.
+        let d = generate(&GeneratorConfig::tiny(5));
+        let fi = feature_importance(&d.train, 1, None, None).unwrap();
+        assert!(fi > 0.52, "FI(sales_volume) = {fi}");
+    }
+
+    #[test]
+    fn negative_weight_feature_below_half() {
+        // price (index 0) has negative ground-truth weight everywhere.
+        let d = generate(&GeneratorConfig::tiny(6));
+        let fi = feature_importance(&d.train, 0, None, None).unwrap();
+        assert!(fi < 0.5, "FI(price) = {fi}");
+    }
+
+    #[test]
+    fn filters_restrict_sessions() {
+        let d = generate(&GeneratorConfig::tiny(7));
+        // A TC with no sessions yields None.
+        let empty_tc = (0..d.hierarchy.num_tc())
+            .find(|&tc| d.train.examples.iter().all(|e| e.true_tc != tc));
+        if let Some(tc) = empty_tc {
+            assert!(feature_importance(&d.train, 1, Some(tc), None).is_none());
+        }
+        // An existing TC yields a defined value.
+        let tc0 = d.train.examples[0].true_tc;
+        assert!(feature_importance(&d.train, 1, Some(tc0), None).is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of")]
+    fn bad_feature_index_panics() {
+        let d = generate(&GeneratorConfig::tiny(8));
+        let _ = feature_importance(&d.train, N_NUMERIC, None, None);
+    }
+}

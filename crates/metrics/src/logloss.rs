@@ -1,0 +1,53 @@
+//! Binary cross-entropy on predicted probabilities (training diagnostic).
+
+/// Mean binary log-loss of probabilities against labels, clamping
+/// predictions to `[1e-7, 1 - 1e-7]` for numerical safety.
+///
+/// # Panics
+/// Panics if lengths differ or `probs` is empty.
+#[must_use]
+pub fn log_loss(probs: &[f32], labels: &[bool]) -> f64 {
+    assert_eq!(
+        probs.len(),
+        labels.len(),
+        "log_loss: {} probs vs {} labels",
+        probs.len(),
+        labels.len()
+    );
+    assert!(!probs.is_empty(), "log_loss: empty input");
+    let mut total = 0.0f64;
+    for (&p, &y) in probs.iter().zip(labels) {
+        let p = f64::from(p).clamp(1e-7, 1.0 - 1e-7);
+        total -= if y { p.ln() } else { (1.0 - p).ln() };
+    }
+    total / probs.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confident_correct_is_small() {
+        let l = log_loss(&[0.99, 0.01], &[true, false]);
+        assert!(l < 0.02);
+    }
+
+    #[test]
+    fn confident_wrong_is_large() {
+        let l = log_loss(&[0.01, 0.99], &[true, false]);
+        assert!(l > 4.0);
+    }
+
+    #[test]
+    fn half_probability_is_ln2() {
+        let l = log_loss(&[0.5, 0.5], &[true, false]);
+        assert!((l - std::f64::consts::LN_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn extreme_probs_clamped_finite() {
+        let l = log_loss(&[0.0, 1.0], &[true, false]);
+        assert!(l.is_finite());
+    }
+}

@@ -1,0 +1,130 @@
+//! Normalised Discounted Cumulative Gain (Järvelin & Kekäläinen 2002,
+//! the paper's ref \[13\]) with binary gains.
+
+use crate::SessionEval;
+
+/// NDCG of one ranked list, optionally truncated to the top `k` shown
+/// positions (`None` = full list). Binary gains: `gain = label`.
+///
+/// Returns `None` when there is no positive item (the ideal DCG is zero).
+///
+/// # Panics
+/// Panics if the slices have different lengths.
+#[must_use]
+pub fn ndcg(scores: &[f32], labels: &[bool], k: Option<usize>) -> Option<f64> {
+    assert_eq!(
+        scores.len(),
+        labels.len(),
+        "ndcg: {} scores vs {} labels",
+        scores.len(),
+        labels.len()
+    );
+    let pos = labels.iter().filter(|&&l| l).count();
+    if pos == 0 {
+        return None;
+    }
+    let cutoff = k.unwrap_or(scores.len()).min(scores.len());
+
+    // Ranking induced by the scores (descending, stable on ties by index
+    // for determinism).
+    let mut order: Vec<usize> = (0..scores.len()).collect();
+    order.sort_by(|&a, &b| {
+        scores[b]
+            .partial_cmp(&scores[a])
+            .expect("ndcg: NaN score")
+            .then(a.cmp(&b))
+    });
+
+    let dcg: f64 = order
+        .iter()
+        .take(cutoff)
+        .enumerate()
+        .filter(|(_, &i)| labels[i])
+        .map(|(rank, _)| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+
+    // Ideal DCG: all positives first.
+    let idcg: f64 = (0..pos.min(cutoff))
+        .map(|rank| 1.0 / ((rank + 2) as f64).log2())
+        .sum();
+
+    Some(dcg / idcg)
+}
+
+/// Mean per-session NDCG (optionally truncated at `k`) over sessions
+/// where it is defined.
+#[must_use]
+pub fn session_ndcg(sessions: &[SessionEval<'_>], k: Option<usize>) -> Option<f64> {
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for s in sessions {
+        if let Some(v) = ndcg(s.scores, s.labels, k) {
+            total += v;
+            n += 1;
+        }
+    }
+    (n > 0).then(|| total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_is_one() {
+        let v = ndcg(&[0.9, 0.8, 0.1], &[true, true, false], None).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn worst_ranking_below_one() {
+        let v = ndcg(&[0.1, 0.2, 0.9], &[true, false, false], None).unwrap();
+        // Positive lands at rank 3: DCG = 1/log2(4) = 0.5, IDCG = 1.
+        assert!((v - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncation_drops_deep_hits() {
+        let scores = [0.9, 0.8, 0.7, 0.1];
+        let labels = [false, false, false, true];
+        // Positive at rank 4; NDCG@2 sees no hit but IDCG@2 is nonzero.
+        let v = ndcg(&scores, &labels, Some(2)).unwrap();
+        assert_eq!(v, 0.0);
+        let full = ndcg(&scores, &labels, None).unwrap();
+        assert!(full > 0.0);
+    }
+
+    #[test]
+    fn no_positive_undefined() {
+        assert!(ndcg(&[0.5, 0.6], &[false, false], None).is_none());
+    }
+
+    #[test]
+    fn all_positive_is_one() {
+        let v = ndcg(&[0.1, 0.9], &[true, true], None).unwrap();
+        assert!((v - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn better_ranking_scores_higher() {
+        let labels = [true, false, true, false, false];
+        let good = ndcg(&[0.9, 0.5, 0.8, 0.3, 0.1], &labels, None).unwrap();
+        let bad = ndcg(&[0.1, 0.5, 0.2, 0.9, 0.8], &labels, None).unwrap();
+        assert!(good > bad);
+    }
+
+    #[test]
+    fn session_average() {
+        let s1 = SessionEval {
+            scores: &[0.9, 0.1],
+            labels: &[true, false],
+        };
+        let s2 = SessionEval {
+            scores: &[0.1, 0.9],
+            labels: &[true, false],
+        };
+        let avg = session_ndcg(&[s1, s2], None).unwrap();
+        let expect = (1.0 + 1.0 / 3f64.log2()) / 2.0;
+        assert!((avg - expect).abs() < 1e-12);
+    }
+}

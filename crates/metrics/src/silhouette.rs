@@ -1,0 +1,114 @@
+//! Silhouette score — the quantitative stand-in for "the t-SNE plot
+//! clusters nicely" (paper Fig. 6). Higher means points sit closer to
+//! their own class than to the nearest other class.
+
+use amoe_tensor::Matrix;
+
+/// Mean silhouette coefficient of `points` (rows) under integer `labels`.
+///
+/// Uses squared-free Euclidean distance. Points in singleton classes get
+/// silhouette 0 by convention. Returns `None` when fewer than 2 classes
+/// are present.
+///
+/// # Panics
+/// Panics if `labels.len() != points.rows()`.
+#[must_use]
+pub fn silhouette_score(points: &Matrix, labels: &[usize]) -> Option<f64> {
+    assert_eq!(
+        labels.len(),
+        points.rows(),
+        "silhouette_score: {} labels vs {} points",
+        labels.len(),
+        points.rows()
+    );
+    let n = points.rows();
+    let n_classes = labels.iter().copied().max()? + 1;
+    let mut class_sizes = vec![0usize; n_classes];
+    for &l in labels {
+        class_sizes[l] += 1;
+    }
+    if class_sizes.iter().filter(|&&c| c > 0).count() < 2 {
+        return None;
+    }
+
+    let dist = |i: usize, j: usize| -> f64 {
+        points
+            .row(i)
+            .iter()
+            .zip(points.row(j))
+            .map(|(a, b)| f64::from(a - b) * f64::from(a - b))
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    let mut total = 0.0;
+    for i in 0..n {
+        // Mean distance to every class.
+        let mut sums = vec![0.0f64; n_classes];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += dist(i, j);
+            }
+        }
+        let own = labels[i];
+        if class_sizes[own] <= 1 {
+            continue; // silhouette 0 contribution
+        }
+        let a = sums[own] / (class_sizes[own] - 1) as f64;
+        let b = (0..n_classes)
+            .filter(|&c| c != own && class_sizes[c] > 0)
+            .map(|c| sums[c] / class_sizes[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let s = (b - a) / a.max(b);
+        total += s;
+    }
+    Some(total / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_near_one() {
+        let pts = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[0.1, 0.0],
+            &[0.0, 0.1],
+            &[10.0, 10.0],
+            &[10.1, 10.0],
+            &[10.0, 10.1],
+        ]);
+        let s = silhouette_score(&pts, &[0, 0, 0, 1, 1, 1]).unwrap();
+        assert!(s > 0.95, "s = {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_near_zero_or_negative() {
+        let pts = Matrix::from_rows(&[
+            &[0.0, 0.0],
+            &[10.0, 10.0],
+            &[0.1, 0.0],
+            &[10.1, 10.0],
+        ]);
+        // Labels split each true cluster across classes.
+        let s = silhouette_score(&pts, &[0, 0, 1, 1]).unwrap();
+        assert!(s < 0.1, "s = {s}");
+    }
+
+    #[test]
+    fn single_class_undefined() {
+        let pts = Matrix::from_rows(&[&[0.0], &[1.0]]);
+        assert!(silhouette_score(&pts, &[0, 0]).is_none());
+    }
+
+    #[test]
+    fn better_separation_scores_higher() {
+        let tight = Matrix::from_rows(&[&[0.0], &[0.2], &[5.0], &[5.2]]);
+        let loose = Matrix::from_rows(&[&[0.0], &[2.0], &[3.0], &[5.0]]);
+        let labels = [0usize, 0, 1, 1];
+        let st = silhouette_score(&tight, &labels).unwrap();
+        let sl = silhouette_score(&loose, &labels).unwrap();
+        assert!(st > sl);
+    }
+}

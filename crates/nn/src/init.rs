@@ -1,0 +1,83 @@
+//! Weight initialisation schemes.
+
+use amoe_tensor::{Matrix, Rng};
+
+/// Initialisation scheme for a `fan_in x fan_out` weight matrix.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Init {
+    /// All zeros (biases).
+    Zeros,
+    /// Uniform in `[-limit, limit]` with `limit = sqrt(6 / (fan_in + fan_out))`
+    /// (Glorot & Bengio 2010) — the default for linear layers feeding
+    /// saturating nonlinearities and gates.
+    XavierUniform,
+    /// Normal with std `sqrt(2 / fan_in)` (He et al. 2015) — for ReLU
+    /// towers, which the paper's experts use.
+    HeNormal,
+    /// i.i.d. normal with the given standard deviation (embeddings).
+    Normal(f32),
+    /// i.i.d. uniform in `[lo, hi)`.
+    Uniform(f32, f32),
+}
+
+impl Init {
+    /// Samples a `rows x cols` matrix. `rows` is treated as fan-in and
+    /// `cols` as fan-out.
+    #[must_use]
+    pub fn sample(self, rows: usize, cols: usize, rng: &mut Rng) -> Matrix {
+        match self {
+            Init::Zeros => Matrix::zeros(rows, cols),
+            Init::XavierUniform => {
+                let limit = (6.0 / (rows + cols) as f32).sqrt();
+                rng.uniform_matrix(rows, cols, -limit, limit)
+            }
+            Init::HeNormal => {
+                let std = (2.0 / rows as f32).sqrt();
+                rng.normal_matrix(rows, cols, 0.0, std)
+            }
+            Init::Normal(std) => rng.normal_matrix(rows, cols, 0.0, std),
+            Init::Uniform(lo, hi) => rng.uniform_matrix(rows, cols, lo, hi),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_is_zero() {
+        let mut rng = Rng::seed_from(1);
+        let m = Init::Zeros.sample(3, 4, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn xavier_within_limit() {
+        let mut rng = Rng::seed_from(2);
+        let (rows, cols) = (64, 32);
+        let limit = (6.0 / (rows + cols) as f32).sqrt();
+        let m = Init::XavierUniform.sample(rows, cols, &mut rng);
+        assert!(m.as_slice().iter().all(|&v| v.abs() <= limit));
+        // Not degenerate.
+        assert!(m.frob_norm() > 0.0);
+    }
+
+    #[test]
+    fn he_normal_std() {
+        let mut rng = Rng::seed_from(3);
+        let m = Init::HeNormal.sample(256, 128, &mut rng);
+        let n = m.len() as f32;
+        let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
+        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let expected = 2.0 / 256.0;
+        assert!((var - expected).abs() < 0.2 * expected, "var {var} vs {expected}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = Init::HeNormal.sample(4, 4, &mut Rng::seed_from(7));
+        let b = Init::HeNormal.sample(4, 4, &mut Rng::seed_from(7));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,90 @@
+//! Learning-rate schedules.
+
+/// Maps a 0-based global step to a learning rate.
+#[derive(Clone, Debug, PartialEq)]
+pub enum LrSchedule {
+    /// Fixed learning rate (the paper's setting).
+    Constant(f32),
+    /// `base` multiplied by `gamma` every `every` steps.
+    StepDecay {
+        /// Initial rate.
+        base: f32,
+        /// Multiplier applied at each boundary.
+        gamma: f32,
+        /// Steps between boundaries.
+        every: usize,
+    },
+    /// Linear warmup from 0 to `base` over `warmup` steps, then constant.
+    Warmup {
+        /// Target rate.
+        base: f32,
+        /// Warmup length in steps.
+        warmup: usize,
+    },
+}
+
+impl LrSchedule {
+    /// Learning rate at `step`.
+    #[must_use]
+    pub fn at(&self, step: usize) -> f32 {
+        match *self {
+            LrSchedule::Constant(lr) => lr,
+            LrSchedule::StepDecay { base, gamma, every } => {
+                base * gamma.powi((step / every.max(1)) as i32)
+            }
+            LrSchedule::Warmup { base, warmup } => {
+                if warmup == 0 || step >= warmup {
+                    base
+                } else {
+                    base * (step + 1) as f32 / warmup as f32
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constant_is_constant() {
+        let s = LrSchedule::Constant(0.1);
+        assert_eq!(s.at(0), 0.1);
+        assert_eq!(s.at(1_000_000), 0.1);
+    }
+
+    #[test]
+    fn step_decay_boundaries() {
+        let s = LrSchedule::StepDecay {
+            base: 1.0,
+            gamma: 0.5,
+            every: 10,
+        };
+        assert_eq!(s.at(0), 1.0);
+        assert_eq!(s.at(9), 1.0);
+        assert_eq!(s.at(10), 0.5);
+        assert_eq!(s.at(25), 0.25);
+    }
+
+    #[test]
+    fn warmup_ramps_then_holds() {
+        let s = LrSchedule::Warmup {
+            base: 1.0,
+            warmup: 4,
+        };
+        assert_eq!(s.at(0), 0.25);
+        assert_eq!(s.at(1), 0.5);
+        assert_eq!(s.at(3), 1.0);
+        assert_eq!(s.at(100), 1.0);
+    }
+
+    #[test]
+    fn warmup_zero_is_safe() {
+        let s = LrSchedule::Warmup {
+            base: 0.3,
+            warmup: 0,
+        };
+        assert_eq!(s.at(0), 0.3);
+    }
+}

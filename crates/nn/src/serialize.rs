@@ -1,0 +1,243 @@
+//! Binary checkpoint format for [`ParamSet`].
+//!
+//! Layout (little-endian):
+//!
+//! ```text
+//! magic   b"AMOE"            4 bytes
+//! version u32                currently 1
+//! count   u32                number of tensors
+//! per tensor:
+//!   name_len u32, name bytes (UTF-8)
+//!   rows u32, cols u32
+//!   rows*cols f32 values, row-major
+//! ```
+//!
+//! Gradients and optimizer state are not checkpointed; a loaded model is
+//! ready for inference or fresh fine-tuning.
+
+use std::fs::File;
+use std::io::{self, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+use amoe_tensor::Matrix;
+
+use crate::ParamSet;
+
+const MAGIC: &[u8; 4] = b"AMOE";
+const VERSION: u32 = 1;
+
+/// Errors raised while reading a checkpoint.
+#[derive(Debug)]
+pub enum SerializeError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// Bad magic bytes — not a checkpoint file.
+    BadMagic,
+    /// File written by an unknown format version.
+    BadVersion(u32),
+    /// A tensor header or name failed validation.
+    Corrupt(String),
+    /// Loaded tensors don't match the receiving parameter set.
+    Mismatch(String),
+}
+
+impl std::fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
+            SerializeError::BadMagic => write!(f, "not an AMOE checkpoint (bad magic)"),
+            SerializeError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            SerializeError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            SerializeError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<io::Error> for SerializeError {
+    fn from(e: io::Error) -> Self {
+        SerializeError::Io(e)
+    }
+}
+
+impl ParamSet {
+    /// Writes all parameter values to `path`.
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SerializeError> {
+        let mut w = BufWriter::new(File::create(path)?);
+        w.write_all(MAGIC)?;
+        w.write_all(&VERSION.to_le_bytes())?;
+        w.write_all(&(self.entries.len() as u32).to_le_bytes())?;
+        for e in &self.entries {
+            let name = e.name.as_bytes();
+            w.write_all(&(name.len() as u32).to_le_bytes())?;
+            w.write_all(name)?;
+            w.write_all(&(e.value.rows() as u32).to_le_bytes())?;
+            w.write_all(&(e.value.cols() as u32).to_le_bytes())?;
+            for &v in e.value.as_slice() {
+                w.write_all(&v.to_le_bytes())?;
+            }
+        }
+        w.flush()?;
+        Ok(())
+    }
+
+    /// Reads a checkpoint into a fresh set (names and shapes come from
+    /// the file).
+    pub fn load(path: impl AsRef<Path>) -> Result<ParamSet, SerializeError> {
+        let mut r = BufReader::new(File::open(path)?);
+        let mut magic = [0u8; 4];
+        r.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(SerializeError::BadMagic);
+        }
+        let version = read_u32(&mut r)?;
+        if version != VERSION {
+            return Err(SerializeError::BadVersion(version));
+        }
+        let count = read_u32(&mut r)? as usize;
+        if count > 1_000_000 {
+            return Err(SerializeError::Corrupt(format!(
+                "implausible tensor count {count}"
+            )));
+        }
+        let mut ps = ParamSet::new();
+        for _ in 0..count {
+            let name_len = read_u32(&mut r)? as usize;
+            if name_len > 4096 {
+                return Err(SerializeError::Corrupt(format!(
+                    "implausible name length {name_len}"
+                )));
+            }
+            let mut name = vec![0u8; name_len];
+            r.read_exact(&mut name)?;
+            let name = String::from_utf8(name)
+                .map_err(|_| SerializeError::Corrupt("non-UTF8 tensor name".into()))?;
+            let rows = read_u32(&mut r)? as usize;
+            let cols = read_u32(&mut r)? as usize;
+            if rows == 0 || cols == 0 || rows.saturating_mul(cols) > 500_000_000 {
+                return Err(SerializeError::Corrupt(format!(
+                    "implausible shape {rows}x{cols} for {name:?}"
+                )));
+            }
+            let mut data = vec![0f32; rows * cols];
+            let mut buf = [0u8; 4];
+            for v in &mut data {
+                r.read_exact(&mut buf)?;
+                *v = f32::from_le_bytes(buf);
+            }
+            ps.add(name, Matrix::from_vec(rows, cols, data));
+        }
+        Ok(ps)
+    }
+
+    /// Copies values from another set into `self`, matching by name.
+    /// Every parameter of `self` must be present in `other` with the same
+    /// shape (extra tensors in `other` are ignored).
+    pub fn load_values_from(&mut self, other: &ParamSet) -> Result<(), SerializeError> {
+        for e in &mut self.entries {
+            let src = other
+                .entries
+                .iter()
+                .find(|o| o.name == e.name)
+                .ok_or_else(|| SerializeError::Mismatch(format!("missing tensor {:?}", e.name)))?;
+            if src.value.shape() != e.value.shape() {
+                return Err(SerializeError::Mismatch(format!(
+                    "tensor {:?} has shape {:?}, expected {:?}",
+                    e.name,
+                    src.value.shape(),
+                    e.value.shape()
+                )));
+            }
+            e.value = src.value.clone();
+        }
+        Ok(())
+    }
+}
+
+fn read_u32(r: &mut impl Read) -> Result<u32, SerializeError> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoe_tensor::Rng;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let mut p = std::env::temp_dir();
+        p.push(format!("amoe_ckpt_test_{name}_{}", std::process::id()));
+        p
+    }
+
+    #[test]
+    fn save_load_roundtrip() {
+        let mut rng = Rng::seed_from(1);
+        let mut ps = ParamSet::new();
+        ps.add("a.w", rng.normal_matrix(3, 4, 0.0, 1.0));
+        ps.add("a.b", rng.normal_matrix(1, 4, 0.0, 1.0));
+        let path = tmp("roundtrip");
+        ps.save(&path).unwrap();
+        let loaded = ParamSet::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(loaded.len(), 2);
+        assert_eq!(loaded.name(crate::ParamId(0)), "a.w");
+        assert_eq!(
+            loaded.value(loaded.find("a.w").unwrap()),
+            ps.value(ps.find("a.w").unwrap())
+        );
+        assert_eq!(
+            loaded.value(loaded.find("a.b").unwrap()),
+            ps.value(ps.find("a.b").unwrap())
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let path = tmp("badmagic");
+        std::fs::write(&path, b"NOPE....").unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SerializeError::BadMagic));
+    }
+
+    #[test]
+    fn truncated_file_rejected() {
+        let mut rng = Rng::seed_from(2);
+        let mut ps = ParamSet::new();
+        ps.add("w", rng.normal_matrix(4, 4, 0.0, 1.0));
+        let path = tmp("trunc");
+        ps.save(&path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, SerializeError::Io(_)));
+    }
+
+    #[test]
+    fn load_values_from_matches_by_name() {
+        let mut rng = Rng::seed_from(3);
+        let mut src = ParamSet::new();
+        src.add("x", rng.normal_matrix(2, 2, 0.0, 1.0));
+        src.add("y", rng.normal_matrix(1, 3, 0.0, 1.0));
+        let mut dst = ParamSet::new();
+        dst.add("y", Matrix::zeros(1, 3));
+        dst.load_values_from(&src).unwrap();
+        assert_eq!(dst.value(dst.find("y").unwrap()), src.value(src.find("y").unwrap()));
+    }
+
+    #[test]
+    fn load_values_shape_mismatch_errors() {
+        let mut src = ParamSet::new();
+        src.add("y", Matrix::zeros(2, 3));
+        let mut dst = ParamSet::new();
+        dst.add("y", Matrix::zeros(1, 3));
+        assert!(matches!(
+            dst.load_values_from(&src),
+            Err(SerializeError::Mismatch(_))
+        ));
+    }
+}

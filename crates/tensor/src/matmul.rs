@@ -1,0 +1,157 @@
+//! Matrix multiplication kernels in all transpose flavours.
+//!
+//! Backpropagation through `C = A·B` needs `∂A = ∂C·Bᵀ` and `∂B = Aᵀ·∂C`;
+//! rather than materialising transposes we provide dedicated kernels that
+//! read the operands in their natural layout. All kernels accumulate in the
+//! `ikj` order so the innermost loop is a contiguous stride-1 sweep.
+
+use crate::Matrix;
+
+/// `C = A (m x k) · B (k x n)`.
+///
+/// # Panics
+/// Panics if `a.cols() != b.rows()`.
+#[must_use]
+pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.rows(),
+        "matmul: inner dims differ: {:?} x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (p, &aip) in a_row.iter().enumerate().take(k) {
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = Aᵀ (k x m)ᵀ · B (k x n)`, i.e. `A` is stored as `k x m` and used
+/// transposed. Equivalent to `matmul(&a.transpose(), b)` without the copy.
+#[must_use]
+pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.rows(),
+        b.rows(),
+        "matmul_tn: inner dims differ: {:?}ᵀ x {:?}",
+        a.shape(),
+        b.shape()
+    );
+    let (k, m, n) = (a.rows(), a.cols(), b.cols());
+    let mut c = Matrix::zeros(m, n);
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for (i, &aip) in a_row.iter().enumerate().take(m) {
+            if aip == 0.0 {
+                continue;
+            }
+            let c_row = c.row_mut(i);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * bv;
+            }
+        }
+    }
+    c
+}
+
+/// `C = A (m x k) · Bᵀ (n x k)ᵀ`, i.e. `B` is stored as `n x k` and used
+/// transposed. Equivalent to `matmul(a, &b.transpose())` without the copy.
+#[must_use]
+pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(
+        a.cols(),
+        b.cols(),
+        "matmul_nt: inner dims differ: {:?} x {:?}ᵀ",
+        a.shape(),
+        b.shape()
+    );
+    let (m, k, n) = (a.rows(), a.cols(), b.rows());
+    let mut c = Matrix::zeros(m, n);
+    for i in 0..m {
+        let a_row = a.row(i);
+        let c_row = c.row_mut(i);
+        for (j, cv) in c_row.iter_mut().enumerate().take(n) {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            *cv += acc;
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assert_close;
+    use crate::rng::Rng;
+
+    #[test]
+    fn small_known_product() {
+        let a = Matrix::from_rows(&[&[1., 2.], &[3., 4.]]);
+        let b = Matrix::from_rows(&[&[5., 6.], &[7., 8.]]);
+        let c = matmul(&a, &b);
+        assert_eq!(c, Matrix::from_rows(&[&[19., 22.], &[43., 50.]]));
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = Rng::seed_from(7);
+        let a = rng.normal_matrix(4, 4, 0.0, 1.0);
+        let c = matmul(&a, &Matrix::eye(4));
+        assert_close(&c, &a, 1e-6, 1e-7);
+    }
+
+    #[test]
+    fn tn_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from(11);
+        let a = rng.normal_matrix(5, 3, 0.0, 1.0); // used as Aᵀ: 3x5 effective
+        let b = rng.normal_matrix(5, 4, 0.0, 1.0);
+        assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b), 1e-5, 1e-6);
+    }
+
+    #[test]
+    fn nt_matches_explicit_transpose() {
+        let mut rng = Rng::seed_from(13);
+        let a = rng.normal_matrix(4, 6, 0.0, 1.0);
+        let b = rng.normal_matrix(3, 6, 0.0, 1.0); // used as Bᵀ: 6x3 effective
+        assert_close(&matmul_nt(&a, &b), &matmul(&a, &b.transpose()), 1e-5, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dims differ")]
+    fn dim_mismatch_panics() {
+        let _ = matmul(&Matrix::ones(2, 3), &Matrix::ones(2, 3));
+    }
+
+    #[test]
+    fn rectangular_shapes() {
+        let mut rng = Rng::seed_from(17);
+        let a = rng.normal_matrix(1, 7, 0.0, 1.0);
+        let b = rng.normal_matrix(7, 1, 0.0, 1.0);
+        let c = matmul(&a, &b);
+        assert_eq!(c.shape(), (1, 1));
+        let expect: f32 = a
+            .as_slice()
+            .iter()
+            .zip(b.as_slice())
+            .map(|(x, y)| x * y)
+            .sum();
+        assert!((c[(0, 0)] - expect).abs() < 1e-5);
+    }
+}

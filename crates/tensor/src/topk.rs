@@ -1,0 +1,113 @@
+//! Top-k selection per row — the primitive behind noisy top-K gating.
+
+use crate::Matrix;
+
+/// Indices of the `k` largest values in `row`, in descending value order.
+/// Ties are broken by smaller index first (deterministic).
+///
+/// # Panics
+/// Panics if `k == 0`, `k > row.len()`, or the row contains NaN.
+#[must_use]
+pub fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
+    assert!(
+        k > 0 && k <= row.len(),
+        "top_k_indices: k={k} out of range for row of {}",
+        row.len()
+    );
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    idx.sort_by(|&a, &b| {
+        row[b]
+            .partial_cmp(&row[a])
+            .expect("top_k_indices: NaN in row")
+            .then(a.cmp(&b))
+    });
+    idx.truncate(k);
+    idx
+}
+
+/// The `k`-th largest value of `row` (1-indexed: `k = 1` is the max).
+#[must_use]
+pub fn kth_largest(row: &[f32], k: usize) -> f32 {
+    let idx = top_k_indices(row, k);
+    row[idx[k - 1]]
+}
+
+/// A 0/1 mask matrix with ones at the top-`k` entries of each row of `a`.
+#[must_use]
+pub fn row_topk_mask(a: &Matrix, k: usize) -> Matrix {
+    let mut mask = Matrix::zeros(a.rows(), a.cols());
+    for r in 0..a.rows() {
+        for &c in &top_k_indices(a.row(r), k) {
+            mask[(r, c)] = 1.0;
+        }
+    }
+    mask
+}
+
+/// Replaces entries of `a` outside each row's top-`k` with `-inf`
+/// (preparing a masked softmax, Eq. 6 of the paper).
+#[must_use]
+pub fn mask_non_topk_neg_inf(a: &Matrix, k: usize) -> Matrix {
+    let mut out = Matrix::filled(a.rows(), a.cols(), f32::NEG_INFINITY);
+    for r in 0..a.rows() {
+        for &c in &top_k_indices(a.row(r), k) {
+            out[(r, c)] = a[(r, c)];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn picks_largest_descending() {
+        let row = [0.1, 5.0, -2.0, 3.0, 4.0];
+        assert_eq!(top_k_indices(&row, 3), vec![1, 4, 3]);
+        assert_eq!(kth_largest(&row, 1), 5.0);
+        assert_eq!(kth_largest(&row, 3), 3.0);
+    }
+
+    #[test]
+    fn ties_break_by_index() {
+        let row = [2.0, 2.0, 2.0];
+        assert_eq!(top_k_indices(&row, 2), vec![0, 1]);
+    }
+
+    #[test]
+    fn k_equals_len() {
+        let row = [1.0, 3.0, 2.0];
+        assert_eq!(top_k_indices(&row, 3), vec![1, 2, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn k_zero_panics() {
+        let _ = top_k_indices(&[1.0], 0);
+    }
+
+    #[test]
+    fn mask_has_k_ones_per_row() {
+        let a = Matrix::from_rows(&[&[1., 4., 2., 3.], &[9., 1., 8., 7.]]);
+        let m = row_topk_mask(&a, 2);
+        for r in 0..2 {
+            let ones: f32 = m.row(r).iter().sum();
+            assert_eq!(ones, 2.0);
+        }
+        assert_eq!(m[(0, 1)], 1.0);
+        assert_eq!(m[(0, 3)], 1.0);
+        assert_eq!(m[(1, 0)], 1.0);
+        assert_eq!(m[(1, 2)], 1.0);
+    }
+
+    #[test]
+    fn neg_inf_mask_keeps_topk_values() {
+        let a = Matrix::from_rows(&[&[1., 4., 2., 3.]]);
+        let m = mask_non_topk_neg_inf(&a, 2);
+        assert_eq!(m[(0, 1)], 4.0);
+        assert_eq!(m[(0, 3)], 3.0);
+        assert_eq!(m[(0, 0)], f32::NEG_INFINITY);
+        assert_eq!(m[(0, 2)], f32::NEG_INFINITY);
+    }
+}

@@ -1,0 +1,340 @@
+#![warn(missing_docs)]
+
+//! Exact t-SNE (van der Maaten & Hinton 2008, the paper's ref \[19\]).
+//!
+//! Used by the Fig. 6 experiment to embed inference-gate probability
+//! vectors into 2-D, where the paper inspects how semantically similar
+//! categories cluster under MoE vs Adv-MoE vs Adv & HSC-MoE. The point
+//! counts there are small (≤ a few thousand), so the exact O(n²)
+//! algorithm is both the reference method and fast enough.
+//!
+//! Implementation notes:
+//! * conditional distributions `p_{j|i}` calibrated per point by binary
+//!   search on the Gaussian bandwidth to match the target perplexity;
+//! * symmetrised `P`, early exaggeration for the first quarter of the
+//!   iterations, gradient descent with momentum and per-dimension gains
+//!   — the reference recipe.
+
+use amoe_tensor::{Matrix, Rng};
+
+/// t-SNE hyper-parameters.
+#[derive(Clone, Debug)]
+pub struct TsneConfig {
+    /// Target perplexity (effective neighbour count). Typical 5–50.
+    pub perplexity: f64,
+    /// Gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate (η).
+    pub learning_rate: f64,
+    /// Early-exaggeration factor applied for the first quarter of the
+    /// iterations.
+    pub exaggeration: f64,
+    /// Seed for the initial layout.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 100.0,
+            exaggeration: 4.0,
+            seed: 1,
+        }
+    }
+}
+
+/// Embeds the rows of `data` into 2-D.
+///
+/// # Panics
+/// Panics if there are fewer than 3 rows or the perplexity is not
+/// achievable (`3 * perplexity >= n` is rejected with a clear message).
+#[must_use]
+pub fn tsne(data: &Matrix, config: &TsneConfig) -> Matrix {
+    let n = data.rows();
+    assert!(n >= 3, "tsne: need at least 3 points, got {n}");
+    let perplexity = config.perplexity.min((n as f64 - 1.0) / 3.0).max(2.0);
+
+    let p = joint_probabilities(data, perplexity);
+
+    let mut rng = Rng::seed_from(config.seed);
+    let mut y = rng.normal_matrix(n, 2, 0.0, 1e-4);
+    let mut dy = Matrix::zeros(n, 2);
+    let mut gains = Matrix::ones(n, 2);
+
+    let exag_until = config.iterations / 4;
+    for iter in 0..config.iterations {
+        let exag = if iter < exag_until {
+            config.exaggeration
+        } else {
+            1.0
+        };
+        let momentum = if iter < exag_until { 0.5 } else { 0.8 };
+
+        // Student-t affinities in the embedding.
+        let mut num = vec![0f64; n * n];
+        let mut q_sum = 0f64;
+        for i in 0..n {
+            for j in i + 1..n {
+                let dx = f64::from(y[(i, 0)] - y[(j, 0)]);
+                let dz = f64::from(y[(i, 1)] - y[(j, 1)]);
+                let v = 1.0 / (1.0 + dx * dx + dz * dz);
+                num[i * n + j] = v;
+                num[j * n + i] = v;
+                q_sum += 2.0 * v;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient: 4 Σ_j (p_ij·exag − q_ij) num_ij (y_i − y_j).
+        let mut grad = Matrix::zeros(n, 2);
+        for i in 0..n {
+            let mut gx = 0f64;
+            let mut gz = 0f64;
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let q = num[i * n + j] / q_sum;
+                let mult = (exag * p[i * n + j] - q) * num[i * n + j];
+                gx += mult * f64::from(y[(i, 0)] - y[(j, 0)]);
+                gz += mult * f64::from(y[(i, 1)] - y[(j, 1)]);
+            }
+            grad[(i, 0)] = (4.0 * gx) as f32;
+            grad[(i, 1)] = (4.0 * gz) as f32;
+        }
+
+        // Momentum + adaptive per-dimension gains.
+        for i in 0..n {
+            for d in 0..2 {
+                let g = grad[(i, d)];
+                let same_sign = (g > 0.0) == (dy[(i, d)] > 0.0);
+                let gain = if same_sign {
+                    (gains[(i, d)] * 0.8).max(0.01)
+                } else {
+                    gains[(i, d)] + 0.2
+                };
+                gains[(i, d)] = gain;
+                dy[(i, d)] = momentum as f32 * dy[(i, d)]
+                    - (config.learning_rate as f32) * gain * g;
+                y[(i, d)] += dy[(i, d)];
+            }
+        }
+
+        // Re-centre.
+        let (mx, mz) = {
+            let mut sx = 0f32;
+            let mut sz = 0f32;
+            for i in 0..n {
+                sx += y[(i, 0)];
+                sz += y[(i, 1)];
+            }
+            (sx / n as f32, sz / n as f32)
+        };
+        for i in 0..n {
+            y[(i, 0)] -= mx;
+            y[(i, 1)] -= mz;
+        }
+    }
+    y
+}
+
+/// Symmetrised joint probabilities `p_ij` with per-point bandwidth
+/// calibrated to the target perplexity.
+fn joint_probabilities(data: &Matrix, perplexity: f64) -> Vec<f64> {
+    let n = data.rows();
+    // Squared Euclidean distances.
+    let mut d2 = vec![0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let dist: f64 = data
+                .row(i)
+                .iter()
+                .zip(data.row(j))
+                .map(|(a, b)| f64::from(a - b) * f64::from(a - b))
+                .sum();
+            d2[i * n + j] = dist;
+            d2[j * n + i] = dist;
+        }
+    }
+
+    let target_entropy = perplexity.ln();
+    let mut p = vec![0f64; n * n];
+    let mut row = vec![0f64; n];
+    for i in 0..n {
+        // Binary search on beta = 1 / (2σ²).
+        let mut beta = 1.0f64;
+        let (mut lo, mut hi) = (f64::MIN_POSITIVE, f64::MAX);
+        for _ in 0..64 {
+            let mut sum = 0f64;
+            for j in 0..n {
+                row[j] = if i == j {
+                    0.0
+                } else {
+                    (-beta * d2[i * n + j]).exp()
+                };
+                sum += row[j];
+            }
+            let sum = sum.max(1e-300);
+            // Shannon entropy of the conditional distribution.
+            let mut entropy = 0f64;
+            for (j, &rj) in row.iter().enumerate() {
+                if j != i && rj > 0.0 {
+                    let pj = rj / sum;
+                    entropy -= pj * pj.ln();
+                }
+            }
+            let diff = entropy - target_entropy;
+            if diff.abs() < 1e-5 {
+                break;
+            }
+            if diff > 0.0 {
+                lo = beta;
+                beta = if hi == f64::MAX { beta * 2.0 } else { 0.5 * (beta + hi) };
+            } else {
+                hi = beta;
+                beta = if lo == f64::MIN_POSITIVE {
+                    beta / 2.0
+                } else {
+                    0.5 * (beta + lo)
+                };
+            }
+        }
+        let sum: f64 = row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).sum();
+        let sum = sum.max(1e-300);
+        for j in 0..n {
+            if j != i {
+                p[i * n + j] = row[j] / sum;
+            }
+        }
+    }
+
+    // Symmetrise and normalise: p_ij = (p_{j|i} + p_{i|j}) / 2n.
+    let mut joint = vec![0f64; n * n];
+    for i in 0..n {
+        for j in i + 1..n {
+            let v = ((p[i * n + j] + p[j * n + i]) / (2.0 * n as f64)).max(1e-12);
+            joint[i * n + j] = v;
+            joint[j * n + i] = v;
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_blobs(n_per: usize, sep: f32, seed: u64) -> (Matrix, Vec<usize>) {
+        let mut rng = Rng::seed_from(seed);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..2 {
+            for _ in 0..n_per {
+                let cx = c as f32 * sep;
+                rows.push(vec![
+                    cx + rng.normal_with(0.0, 0.3),
+                    rng.normal_with(0.0, 0.3),
+                    rng.normal_with(0.0, 0.3),
+                ]);
+                labels.push(c);
+            }
+        }
+        let flat: Vec<f32> = rows.into_iter().flatten().collect();
+        (Matrix::from_vec(2 * n_per, 3, flat), labels)
+    }
+
+    #[test]
+    fn separable_blobs_stay_separated() {
+        let (data, labels) = two_blobs(30, 10.0, 5);
+        let cfg = TsneConfig {
+            perplexity: 10.0,
+            iterations: 250,
+            ..Default::default()
+        };
+        let y = tsne(&data, &cfg);
+        assert_eq!(y.shape(), (60, 2));
+        assert!(y.all_finite());
+        // Class centroids in the embedding must be far apart relative to
+        // the intra-class spread.
+        let centroid = |c: usize| -> (f32, f32) {
+            let pts: Vec<usize> = (0..60).filter(|&i| labels[i] == c).collect();
+            let sx: f32 = pts.iter().map(|&i| y[(i, 0)]).sum();
+            let sy: f32 = pts.iter().map(|&i| y[(i, 1)]).sum();
+            (sx / pts.len() as f32, sy / pts.len() as f32)
+        };
+        let (c0, c1) = (centroid(0), centroid(1));
+        let between = ((c0.0 - c1.0).powi(2) + (c0.1 - c1.1).powi(2)).sqrt();
+        let spread: f32 = (0..60)
+            .map(|i| {
+                let c = if labels[i] == 0 { c0 } else { c1 };
+                ((y[(i, 0)] - c.0).powi(2) + (y[(i, 1)] - c.1).powi(2)).sqrt()
+            })
+            .sum::<f32>()
+            / 60.0;
+        assert!(
+            between > 2.0 * spread,
+            "clusters not separated: between {between}, spread {spread}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let (data, _) = two_blobs(10, 5.0, 6);
+        let cfg = TsneConfig {
+            iterations: 50,
+            ..Default::default()
+        };
+        let a = tsne(&data, &cfg);
+        let b = tsne(&data, &cfg);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn output_is_centred() {
+        let (data, _) = two_blobs(10, 5.0, 7);
+        let cfg = TsneConfig {
+            iterations: 60,
+            ..Default::default()
+        };
+        let y = tsne(&data, &cfg);
+        let mx: f32 = (0..y.rows()).map(|i| y[(i, 0)]).sum::<f32>() / y.rows() as f32;
+        assert!(mx.abs() < 1e-3);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3 points")]
+    fn too_few_points_panics() {
+        let data = Matrix::ones(2, 2);
+        let _ = tsne(&data, &TsneConfig::default());
+    }
+
+    #[test]
+    fn perplexity_clamped_for_small_n() {
+        // Should not panic even with a perplexity larger than n.
+        let (data, _) = two_blobs(5, 3.0, 8);
+        let cfg = TsneConfig {
+            perplexity: 100.0,
+            iterations: 30,
+            ..Default::default()
+        };
+        let y = tsne(&data, &cfg);
+        assert!(y.all_finite());
+    }
+
+    #[test]
+    fn joint_probabilities_symmetric_and_normalised() {
+        let (data, _) = two_blobs(8, 4.0, 9);
+        let p = joint_probabilities(&data, 5.0);
+        let n = data.rows();
+        let total: f64 = p.iter().sum();
+        assert!((total - 1.0).abs() < 1e-6, "total {total}");
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p[i * n + j] - p[j * n + i]).abs() < 1e-12);
+            }
+            assert_eq!(p[i * n + i], 0.0);
+        }
+    }
+}

@@ -1,0 +1,118 @@
+//! Expert anatomy: looks inside a trained MoE — which experts each
+//! category activates, how concentrated the routing is, and how much
+//! the adversarial regularizer decorrelates expert outputs (the paper's
+//! Fig. 6 / Fig. 8 mechanics, in text form).
+//!
+//! Run with: `cargo run --release --example expert_anatomy`
+
+use adv_hsc_moe::dataset::{generate, Batch, GeneratorConfig};
+use adv_hsc_moe::moe::ranker::OptimConfig;
+use adv_hsc_moe::moe::{MoeConfig, MoeModel, TrainConfig, Trainer};
+use adv_hsc_moe::tensor::Matrix;
+
+/// Mean pairwise Pearson correlation between expert output columns.
+fn mean_expert_correlation(experts: &Matrix) -> f64 {
+    let (rows, cols) = experts.shape();
+    let col = |c: usize| -> Vec<f64> { (0..rows).map(|r| f64::from(experts[(r, c)])).collect() };
+    let mut total = 0.0;
+    let mut pairs = 0;
+    for a in 0..cols {
+        for b in a + 1..cols {
+            let (xa, xb) = (col(a), col(b));
+            let n = rows as f64;
+            let (ma, mb) = (
+                xa.iter().sum::<f64>() / n,
+                xb.iter().sum::<f64>() / n,
+            );
+            let cov: f64 = xa.iter().zip(&xb).map(|(x, y)| (x - ma) * (y - mb)).sum();
+            let va: f64 = xa.iter().map(|x| (x - ma) * (x - ma)).sum();
+            let vb: f64 = xb.iter().map(|y| (y - mb) * (y - mb)).sum();
+            if va > 0.0 && vb > 0.0 {
+                total += cov / (va * vb).sqrt();
+                pairs += 1;
+            }
+        }
+    }
+    total / f64::from(pairs.max(1))
+}
+
+fn train(data: &adv_hsc_moe::dataset::Dataset, adversarial: bool) -> MoeModel {
+    let mut model = MoeModel::new(
+        &data.meta,
+        MoeConfig {
+            adversarial,
+            hsc: adversarial, // plain MoE vs the full Adv & HSC model
+            lambda1: 1e-1,
+            lambda2: 1e-2,
+            ..MoeConfig::default()
+        },
+        OptimConfig::default(),
+    );
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 4,
+        ..TrainConfig::default()
+    });
+    trainer.fit(&mut model, &data.train);
+    model
+}
+
+fn main() {
+    let data = generate(&GeneratorConfig {
+        train_sessions: 4_000,
+        test_sessions: 800,
+        ..GeneratorConfig::default()
+    });
+
+    let plain = train(&data, false);
+    let ours = train(&data, true);
+
+    // Per-top-category mean gate distribution under the full model.
+    println!("mean gate probability per expert, by top-category (Adv & HSC-MoE):");
+    println!("{:<16} expert 0..9 (x100, top-2 starred)", "category");
+    for tc in 0..data.hierarchy.num_tc() {
+        let idx: Vec<usize> = data
+            .test
+            .examples
+            .iter()
+            .enumerate()
+            .filter(|(_, e)| e.true_tc == tc)
+            .map(|(i, _)| i)
+            .take(200)
+            .collect();
+        if idx.len() < 20 {
+            continue;
+        }
+        let batch = Batch::from_split(&data.test, &idx);
+        let gate = ours.gate_probs_full(&batch);
+        let mut mean = vec![0f32; gate.cols()];
+        for r in 0..gate.rows() {
+            for (m, &v) in mean.iter_mut().zip(gate.row(r)) {
+                *m += v;
+            }
+        }
+        mean.iter_mut().for_each(|m| *m /= gate.rows() as f32);
+        let mut ranked: Vec<usize> = (0..mean.len()).collect();
+        ranked.sort_by(|&a, &b| mean[b].partial_cmp(&mean[a]).unwrap());
+        let cells: Vec<String> = mean
+            .iter()
+            .enumerate()
+            .map(|(i, &m)| {
+                let star = if ranked[..2].contains(&i) { "*" } else { "" };
+                format!("{:>4.0}{star}", m * 100.0)
+            })
+            .collect();
+        println!("{:<16} {}", data.hierarchy.tc_name(tc), cells.join(" "));
+    }
+
+    // Expert output decorrelation.
+    let idx: Vec<usize> = (0..600.min(data.test.len())).collect();
+    let batch = Batch::from_split(&data.test, &idx);
+    let (plain_experts, _) = plain.expert_logits(&batch);
+    let (ours_experts, _) = ours.expert_logits(&batch);
+    println!(
+        "\nmean pairwise expert-output correlation:\n  plain MoE      {:+.3}\n  Adv & HSC-MoE  {:+.3}",
+        mean_expert_correlation(&plain_experts),
+        mean_expert_correlation(&ours_experts)
+    );
+    println!("(lower = more diverse experts; the adversarial loss pushes this down)");
+}

@@ -1,0 +1,15 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the Adv & HSC-MoE reproduction workspace.
+//!
+//! Re-exports the member crates under short names so that examples and
+//! integration tests can use one import root.
+
+pub use amoe_autograd as autograd;
+pub use amoe_core as moe;
+pub use amoe_dataset as dataset;
+pub use amoe_experiments as experiments;
+pub use amoe_metrics as metrics;
+pub use amoe_nn as nn;
+pub use amoe_tensor as tensor;
+pub use amoe_tsne as tsne;

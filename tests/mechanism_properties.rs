@@ -1,0 +1,203 @@
+//! Mechanistic property tests: the paper's two regularizers must do, at
+//! small scale, exactly what Sec. 4.3–4.4 claim — HSC shrinks the gap
+//! between sibling gate distributions, and the adversarial loss
+//! decorrelates expert outputs.
+
+use adv_hsc_moe::dataset::{generate, Batch, GeneratorConfig};
+use adv_hsc_moe::moe::ranker::OptimConfig;
+use adv_hsc_moe::moe::{MoeConfig, MoeModel, Ranker, TrainConfig, Trainer};
+use adv_hsc_moe::tensor::Matrix;
+
+fn data() -> adv_hsc_moe::dataset::Dataset {
+    generate(&GeneratorConfig {
+        seed: 11,
+        train_sessions: 1_200,
+        test_sessions: 300,
+        ..GeneratorConfig::default()
+    })
+}
+
+fn train(data: &adv_hsc_moe::dataset::Dataset, cfg: MoeConfig) -> MoeModel {
+    let mut model = MoeModel::new(&data.meta, cfg, OptimConfig::default());
+    let t = Trainer::new(TrainConfig {
+        epochs: 3,
+        ..TrainConfig::default()
+    });
+    t.fit(&mut model, &data.train);
+    model
+}
+
+/// Mean L2 gap between gate distributions of sibling-SC example pairs.
+fn sibling_gate_gap(model: &MoeModel, data: &adv_hsc_moe::dataset::Dataset) -> f64 {
+    let test = &data.test;
+    // Bucket example indices by predicted SC (the gate input).
+    let mut by_sc: Vec<Vec<usize>> = vec![Vec::new(); data.hierarchy.num_sc()];
+    for (i, e) in test.examples.iter().enumerate().take(4000) {
+        by_sc[e.pred_sc].push(i);
+    }
+    let mut gap = 0.0;
+    let mut pairs = 0usize;
+    for tc in 0..data.hierarchy.num_tc() {
+        let subs: Vec<usize> = data
+            .hierarchy
+            .subs_of(tc)
+            .filter(|&sc| !by_sc[sc].is_empty())
+            .collect();
+        for w in subs.windows(2) {
+            let (a, b) = (by_sc[w[0]][0], by_sc[w[1]][0]);
+            let batch = Batch::from_split(test, &[a, b]);
+            let p = model.gate_probs_full(&batch);
+            let d: f64 = (0..p.cols())
+                .map(|c| f64::from(p[(0, c)] - p[(1, c)]).powi(2))
+                .sum();
+            gap += d.sqrt();
+            pairs += 1;
+        }
+    }
+    gap / pairs.max(1) as f64
+}
+
+/// Mean pairwise correlation of expert output columns over a batch.
+fn expert_correlation(experts: &Matrix) -> f64 {
+    let (rows, cols) = experts.shape();
+    let mut total = 0.0;
+    let mut pairs = 0usize;
+    for a in 0..cols {
+        for b in a + 1..cols {
+            let (mut ma, mut mb) = (0.0f64, 0.0f64);
+            for r in 0..rows {
+                ma += f64::from(experts[(r, a)]);
+                mb += f64::from(experts[(r, b)]);
+            }
+            ma /= rows as f64;
+            mb /= rows as f64;
+            let (mut cov, mut va, mut vb) = (0.0f64, 0.0f64, 0.0f64);
+            for r in 0..rows {
+                let xa = f64::from(experts[(r, a)]) - ma;
+                let xb = f64::from(experts[(r, b)]) - mb;
+                cov += xa * xb;
+                va += xa * xa;
+                vb += xb * xb;
+            }
+            if va > 0.0 && vb > 0.0 {
+                total += cov / (va * vb).sqrt();
+                pairs += 1;
+            }
+        }
+    }
+    total / pairs.max(1) as f64
+}
+
+#[test]
+fn hsc_shrinks_sibling_gate_gap() {
+    let data = data();
+    let plain = train(&data, MoeConfig::default());
+    let hsc = train(
+        &data,
+        MoeConfig {
+            hsc: true,
+            lambda1: 3e-1,
+            ..MoeConfig::default()
+        },
+    );
+    let gap_plain = sibling_gate_gap(&plain, &data);
+    let gap_hsc = sibling_gate_gap(&hsc, &data);
+    assert!(
+        gap_hsc < gap_plain,
+        "HSC should pull sibling gate distributions together: {gap_hsc:.4} !< {gap_plain:.4}"
+    );
+}
+
+#[test]
+fn adversarial_loss_decorrelates_experts() {
+    let data = data();
+    let plain = train(&data, MoeConfig::default());
+    let adv = train(
+        &data,
+        MoeConfig {
+            adversarial: true,
+            lambda2: 1e-1,
+            ..MoeConfig::default()
+        },
+    );
+    let idx: Vec<usize> = (0..500.min(data.test.len())).collect();
+    let batch = Batch::from_split(&data.test, &idx);
+    let (e_plain, _) = plain.expert_logits(&batch);
+    let (e_adv, _) = adv.expert_logits(&batch);
+    let c_plain = expert_correlation(&e_plain);
+    let c_adv = expert_correlation(&e_adv);
+    assert!(
+        c_adv < c_plain,
+        "adversarial training should decorrelate experts: {c_adv:.3} !< {c_plain:.3}"
+    );
+}
+
+/// Trains an HSC model and returns the mean HSC penalty observed over
+/// the final training steps.
+fn final_hsc_penalty(data: &adv_hsc_moe::dataset::Dataset, lambda1: f32) -> f32 {
+    let mut model = MoeModel::new(
+        &data.meta,
+        MoeConfig {
+            hsc: true,
+            lambda1,
+            n_experts: 8,
+            top_k: 4,
+            ..MoeConfig::default()
+        },
+        OptimConfig::default(),
+    );
+    let batch = Batch::from_split(&data.train, &(0..512).collect::<Vec<_>>());
+    for _ in 0..60 {
+        model.train_step(&batch);
+    }
+    (0..5).map(|_| model.train_step(&batch).hsc).sum::<f32>() / 5.0
+}
+
+#[test]
+fn stronger_lambda1_enforces_smaller_hsc_gap() {
+    // The constraint must actually bind: turning λ₁ up should leave the
+    // trained gates closer together (a smaller residual HSC penalty)
+    // than a near-zero λ₁.
+    let data = data();
+    let weak = final_hsc_penalty(&data, 1e-6);
+    let strong = final_hsc_penalty(&data, 5e-1);
+    assert!(
+        strong < weak,
+        "large λ1 should shrink the residual HSC gap: {strong:.6} !< {weak:.6}"
+    );
+}
+
+/// Trains an adversarial model and returns the mean disagreement
+/// observed over the final training steps.
+fn final_adv_reward(data: &adv_hsc_moe::dataset::Dataset, lambda2: f32) -> f32 {
+    let mut model = MoeModel::new(
+        &data.meta,
+        MoeConfig {
+            adversarial: true,
+            lambda2,
+            n_experts: 8,
+            top_k: 2,
+            n_adversarial: 2,
+            ..MoeConfig::default()
+        },
+        OptimConfig::default(),
+    );
+    let batch = Batch::from_split(&data.train, &(0..512).collect::<Vec<_>>());
+    for _ in 0..60 {
+        model.train_step(&batch);
+    }
+    (0..5).map(|_| model.train_step(&batch).adv).sum::<f32>() / 5.0
+}
+
+#[test]
+fn stronger_lambda2_yields_more_disagreement() {
+    // The disagreement reward must bind: a large λ₂ should leave the
+    // trained experts further apart than a near-zero λ₂.
+    let data = data();
+    let weak = final_adv_reward(&data, 1e-6);
+    let strong = final_adv_reward(&data, 3e-1);
+    assert!(
+        strong > weak,
+        "large λ2 should increase expert disagreement: {strong:.5} !> {weak:.5}"
+    );
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) over the numeric substrate and the
+//! core loss invariants, run across randomly generated shapes and
+//! values rather than hand-picked cases.
+
+use adv_hsc_moe::autograd::Tape;
+use adv_hsc_moe::moe::losses::{adversarial_loss, sample_adversarial_mask};
+use adv_hsc_moe::tensor::{matmul, ops, reduce, topk, Matrix, Rng};
+use proptest::prelude::*;
+
+/// Strategy: a matrix with dims in [1, 8] and values in [-10, 10].
+fn matrix_strategy() -> impl Strategy<Value = Matrix> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Matrix::from_vec(r, c, data))
+    })
+}
+
+fn two_same_shape() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..=8, 1usize..=8).prop_flat_map(|(r, c)| {
+        let a = proptest::collection::vec(-10.0f32..10.0, r * c);
+        let b = proptest::collection::vec(-10.0f32..10.0, r * c);
+        (a, b).prop_map(move |(a, b)| (Matrix::from_vec(r, c, a), Matrix::from_vec(r, c, b)))
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in two_same_shape()) {
+        prop_assert_eq!(ops::add(&a, &b), ops::add(&b, &a));
+    }
+
+    #[test]
+    fn sub_is_add_of_negation((a, b) in two_same_shape()) {
+        let lhs = ops::sub(&a, &b);
+        let rhs = ops::add(&a, &ops::scale(&b, -1.0));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-5);
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(a in matrix_strategy()) {
+        prop_assert_eq!(a.transpose().transpose(), a);
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        (a, (b, c)) in (1usize..=6, 1usize..=6, 1usize..=6).prop_flat_map(|(m, k, n)| {
+            let a = proptest::collection::vec(-3.0f32..3.0, m * k)
+                .prop_map(move |v| Matrix::from_vec(m, k, v));
+            let b = proptest::collection::vec(-3.0f32..3.0, k * n)
+                .prop_map(move |v| Matrix::from_vec(k, n, v));
+            let c = proptest::collection::vec(-3.0f32..3.0, k * n)
+                .prop_map(move |v| Matrix::from_vec(k, n, v));
+            (a, (b, c))
+        })
+    ) {
+        let lhs = matmul::matmul(&a, &ops::add(&b, &c));
+        let rhs = ops::add(&matmul::matmul(&a, &b), &matmul::matmul(&a, &c));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3, "{} vs {}", x, y);
+        }
+    }
+
+    #[test]
+    fn softmax_rows_is_distribution(a in matrix_strategy()) {
+        let s = ops::softmax_rows(&a);
+        for r in 0..s.rows() {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&v| (0.0..=1.0).contains(&v)));
+        }
+    }
+
+    #[test]
+    fn softmax_invariant_to_row_shift(a in matrix_strategy()) {
+        let shifted = ops::add_scalar(&a, 3.5);
+        let s1 = ops::softmax_rows(&a);
+        let s2 = ops::softmax_rows(&shifted);
+        for (x, y) in s1.as_slice().iter().zip(s2.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn row_sum_equals_total(a in matrix_strategy()) {
+        let total: f32 = reduce::sum(&a);
+        let via_rows: f32 = reduce::sum(&reduce::row_sum(&a));
+        prop_assert!((total - via_rows).abs() <= 1e-3 * (1.0 + total.abs()));
+    }
+
+    #[test]
+    fn topk_mask_selects_maxima(a in matrix_strategy()) {
+        let k = 1 + a.cols() / 2;
+        let mask = topk::row_topk_mask(&a, k);
+        for r in 0..a.rows() {
+            // Every selected value >= every unselected value.
+            let selected_min = (0..a.cols())
+                .filter(|&c| mask[(r, c)] == 1.0)
+                .map(|c| a[(r, c)])
+                .fold(f32::INFINITY, f32::min);
+            let unselected_max = (0..a.cols())
+                .filter(|&c| mask[(r, c)] == 0.0)
+                .map(|c| a[(r, c)])
+                .fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(selected_min >= unselected_max);
+        }
+    }
+
+    #[test]
+    fn sigmoid_bounded_and_monotone(x in -50.0f32..50.0, y in -50.0f32..50.0) {
+        let (sx, sy) = (ops::sigmoid_scalar(x), ops::sigmoid_scalar(y));
+        prop_assert!((0.0..=1.0).contains(&sx));
+        if x < y {
+            prop_assert!(sx <= sy);
+        }
+    }
+
+    #[test]
+    fn adversarial_loss_nonnegative(seed in 0u64..1000) {
+        let mut rng = Rng::seed_from(seed);
+        let logits = rng.normal_matrix(4, 8, 0.0, 2.0);
+        let mask = topk::row_topk_mask(&logits, 3);
+        let adv = sample_adversarial_mask(&mask, 2, &mut rng);
+        let tape = Tape::new();
+        let e = tape.leaf(logits);
+        let v = adversarial_loss(e, &mask, &adv, 3, 2).value();
+        prop_assert!(v.as_slice().iter().all(|&x| x >= -1e-5));
+    }
+
+    #[test]
+    fn rng_below_uniform_support(seed in 0u64..500, n in 1usize..50) {
+        let mut rng = Rng::seed_from(seed);
+        for _ in 0..64 {
+            prop_assert!(rng.below(n) < n);
+        }
+    }
+
+    #[test]
+    fn auc_invariant_to_monotone_transform(
+        scores in proptest::collection::vec(-5.0f32..5.0, 4..30),
+        flips in proptest::collection::vec(any::<bool>(), 4..30)
+    ) {
+        let n = scores.len().min(flips.len());
+        let scores = &scores[..n];
+        let labels = &flips[..n];
+        let a1 = adv_hsc_moe::metrics::roc_auc(scores, labels);
+        let transformed: Vec<f32> = scores.iter().map(|&s| (s * 0.5).tanh() * 3.0 + 1.0).collect();
+        let a2 = adv_hsc_moe::metrics::roc_auc(&transformed, labels);
+        match (a1, a2) {
+            (Some(x), Some(y)) => prop_assert!((x - y).abs() < 1e-9),
+            (None, None) => {}
+            _ => prop_assert!(false, "definedness changed"),
+        }
+    }
+}
