@@ -157,7 +157,11 @@ impl<'t> Var<'t> {
             mask.shape(),
             x.shape()
         );
-        let masked = ops::zip_map(&x, mask, |v, m| if m != 0.0 { v } else { f32::NEG_INFINITY });
+        let masked = ops::zip_map(
+            &x,
+            mask,
+            |v, m| if m != 0.0 { v } else { f32::NEG_INFINITY },
+        );
         let v = ops::softmax_rows(&masked);
         self.unary(
             v,

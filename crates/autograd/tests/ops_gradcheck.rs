@@ -46,9 +46,7 @@ fn grad_mul_div() {
 #[test]
 fn grad_neg_scale_add_scalar() {
     check(&[rand(2, 2, 9)], |_, v| ((-v[0]).sum_all()).into());
-    check(&[rand(2, 2, 10)], |_, v| {
-        (v[0].scale(3.5).sum_all()).into()
-    });
+    check(&[rand(2, 2, 10)], |_, v| (v[0].scale(3.5).sum_all()).into());
     check(&[rand(2, 2, 11)], |_, v| {
         (v[0].add_scalar(-1.25).square().sum_all()).into()
     });
@@ -98,9 +96,7 @@ fn grad_activations() {
     check(&[rand(3, 3, 23)], |_, v| {
         (v[0].tanh().square().sum_all()).into()
     });
-    check(&[rand(3, 3, 24)], |_, v| {
-        (v[0].softplus().sum_all()).into()
-    });
+    check(&[rand(3, 3, 24)], |_, v| (v[0].softplus().sum_all()).into());
 }
 
 #[test]
@@ -206,11 +202,11 @@ fn grad_deep_mlp_composite() {
     let targets = Matrix::from_rows(&[&[1.0], &[0.0], &[1.0]]);
     check(
         &[
-            rand(3, 4, 41),  // x
-            rand(4, 5, 42),  // w1
-            rand(1, 5, 43),  // b1
-            rand(5, 1, 44),  // w2
-            rand(1, 1, 45),  // b2
+            rand(3, 4, 41), // x
+            rand(4, 5, 42), // w1
+            rand(1, 5, 43), // b1
+            rand(5, 1, 44), // w2
+            rand(1, 1, 45), // b2
         ],
         move |_, v| {
             let h = v[0].matmul(v[1]).add_row(v[2]).tanh();

@@ -35,7 +35,9 @@ fn check_chain(seed: u64, depth: usize) {
     let a = shape_rng.normal_matrix(rows, inner, 0.0, 0.7);
     let b = shape_rng.normal_matrix(inner, cols, 0.0, 0.7);
     let weight = shape_rng.normal_matrix(rows, cols, 0.0, 1.0);
-    let ops: Vec<u64> = (0..depth).map(|_| shape_rng.below(N_SMOOTH_OPS as usize) as u64).collect();
+    let ops: Vec<u64> = (0..depth)
+        .map(|_| shape_rng.below(N_SMOOTH_OPS as usize) as u64)
+        .collect();
 
     assert_gradients(
         move |_t, v| {

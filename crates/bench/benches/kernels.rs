@@ -1,84 +1,70 @@
 //! Micro-benchmarks of the numeric substrate: mat-mul flavours, softmax,
 //! top-k selection, and a t-SNE iteration — the kernels every training
-//! step is built from.
+//! step is built from. Run with `cargo bench --bench kernels`
+//! (`--smoke` for a quick pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use amoe_bench::timing::Timer;
 use amoe_tensor::{matmul, ops, topk, Rng};
 
-fn bench_matmul(c: &mut Criterion) {
-    let mut group = c.benchmark_group("matmul");
+fn bench_matmul(t: &Timer) {
+    println!("== matmul flavours ==");
     for &(m, k, n) in &[(256usize, 48usize, 32usize), (256, 32, 16), (1024, 48, 32)] {
         let mut rng = Rng::seed_from(1);
         let a = rng.normal_matrix(m, k, 0.0, 1.0);
         let b = rng.normal_matrix(k, n, 0.0, 1.0);
-        group.bench_with_input(
-            BenchmarkId::new("nn", format!("{m}x{k}x{n}")),
-            &(&a, &b),
-            |bench, (a, b)| bench.iter(|| black_box(matmul::matmul(a, b))),
-        );
-        // The backward-pass flavours.
         let g = rng.normal_matrix(m, n, 0.0, 1.0);
-        group.bench_with_input(
-            BenchmarkId::new("nt", format!("{m}x{k}x{n}")),
-            &(&g, &b),
-            |bench, (g, b)| bench.iter(|| black_box(matmul::matmul_nt(g, b))),
-        );
-        group.bench_with_input(
-            BenchmarkId::new("tn", format!("{m}x{k}x{n}")),
-            &(&a, &g),
-            |bench, (a, g)| bench.iter(|| black_box(matmul::matmul_tn(a, g))),
-        );
+        t.report(&format!("matmul/nn/{m}x{k}x{n}"), || matmul::matmul(&a, &b));
+        // The backward-pass flavours.
+        t.report(&format!("matmul/nt/{m}x{k}x{n}"), || {
+            matmul::matmul_nt(&g, &b)
+        });
+        t.report(&format!("matmul/tn/{m}x{k}x{n}"), || {
+            matmul::matmul_tn(&a, &g)
+        });
     }
-    group.finish();
 }
 
-fn bench_softmax_topk(c: &mut Criterion) {
-    let mut group = c.benchmark_group("gating_kernels");
+fn bench_softmax_topk(t: &Timer) {
+    println!("== gating kernels ==");
     let mut rng = Rng::seed_from(2);
     for &n in &[10usize, 16, 32] {
         let logits = rng.normal_matrix(256, n, 0.0, 1.0);
-        group.bench_with_input(BenchmarkId::new("softmax_rows", n), &logits, |b, l| {
-            b.iter(|| black_box(ops::softmax_rows(l)));
-        });
-        group.bench_with_input(BenchmarkId::new("topk_mask_k4", n), &logits, |b, l| {
-            b.iter(|| black_box(topk::row_topk_mask(l, 4.min(n))));
+        t.report(&format!("softmax_rows/{n}"), || ops::softmax_rows(&logits));
+        t.report(&format!("topk_mask_k4/{n}"), || {
+            topk::row_topk_mask(&logits, 4.min(n))
         });
     }
-    group.finish();
 }
 
-fn bench_tsne(c: &mut Criterion) {
+fn bench_tsne(t: &Timer) {
+    println!("== t-SNE ==");
     let mut rng = Rng::seed_from(3);
     let data = rng.normal_matrix(150, 10, 0.0, 1.0);
-    c.bench_function("tsne_150pts_50iter", |b| {
-        b.iter(|| {
-            let cfg = amoe_tsne::TsneConfig {
-                perplexity: 20.0,
-                iterations: 50,
-                ..Default::default()
-            };
-            black_box(amoe_tsne::tsne(&data, &cfg))
-        });
+    t.report("tsne_150pts_50iter", || {
+        let cfg = amoe_tsne::TsneConfig {
+            perplexity: 20.0,
+            iterations: 50,
+            ..Default::default()
+        };
+        amoe_tsne::tsne(&data, &cfg)
     });
 }
 
-fn bench_session_metrics(c: &mut Criterion) {
+fn bench_session_metrics(t: &Timer) {
+    println!("== session metrics ==");
     let mut rng = Rng::seed_from(4);
     let scores: Vec<f32> = (0..2000).map(|_| rng.uniform() as f32).collect();
     let labels: Vec<bool> = (0..2000).map(|_| rng.bernoulli(0.12)).collect();
-    c.bench_function("roc_auc_2000", |b| {
-        b.iter(|| black_box(amoe_metrics::roc_auc(&scores, &labels)));
-    });
-    c.bench_function("ndcg_2000", |b| {
-        b.iter(|| black_box(amoe_metrics::ndcg(&scores, &labels, Some(10))));
+    t.report("roc_auc_2000", || amoe_metrics::roc_auc(&scores, &labels));
+    t.report("ndcg_2000", || {
+        amoe_metrics::ndcg(&scores, &labels, Some(10))
     });
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_matmul, bench_softmax_topk, bench_tsne, bench_session_metrics
+fn main() {
+    let t = Timer::from_env();
+    bench_matmul(&t);
+    bench_softmax_topk(&t);
+    bench_tsne(&t);
+    bench_session_metrics(&t);
 }
-criterion_main!(benches);

@@ -1,24 +1,23 @@
 //! Serving-path benchmarks: the paper's design constraint is constant
 //! serving cost in the number of experts `N` at fixed `K`. The sparse
 //! expert-major path should stay roughly flat as `N` grows, while the
-//! dense path grows linearly.
+//! dense path grows linearly. Run with `cargo bench --bench serving`
+//! (`--smoke` for a quick pass); the companion `serving_sweep` binary
+//! adds the thread-count dimension.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use amoe_bench::timing::Timer;
 use amoe_core::ranker::OptimConfig;
 use amoe_core::serving::ServingMoe;
 use amoe_core::{MoeConfig, MoeModel, Ranker};
 use amoe_dataset::{generate, Batch, GeneratorConfig};
 
-fn bench_sparse_vs_dense(c: &mut Criterion) {
+fn bench_sparse_vs_dense(t: &Timer) {
+    println!("== sparse top-K vs dense, batch 256, K=4 ==");
     let d = generate(&GeneratorConfig::tiny(88));
     let idx: Vec<usize> = (0..256.min(d.test.len())).collect();
     let batch = Batch::from_split(&d.test, &idx);
     let optim = OptimConfig::default();
 
-    let mut group = c.benchmark_group("serving_b256");
-    group.sample_size(30);
     for n in [8usize, 16, 32, 64] {
         let cfg = MoeConfig {
             n_experts: n,
@@ -26,19 +25,19 @@ fn bench_sparse_vs_dense(c: &mut Criterion) {
             ..MoeConfig::default()
         };
         let model = MoeModel::new(&d.meta, cfg, optim);
-        group.bench_with_input(BenchmarkId::new("sparse_topk", n), &model, |b, m| {
-            let serving = ServingMoe::new(m);
-            b.iter(|| black_box(serving.predict(&batch)));
+        let serving = ServingMoe::new(&model);
+        t.report(&format!("serving/sparse_topk/N={n}"), || {
+            serving.predict(&batch)
         });
-        group.bench_with_input(BenchmarkId::new("dense_all_experts", n), &model, |b, m| {
-            b.iter(|| black_box(m.predict(&batch)));
+        t.report(&format!("serving/dense_all_experts/N={n}"), || {
+            model.predict(&batch)
         });
     }
-    group.finish();
 }
 
-fn bench_serving_latency_small_batch(c: &mut Criterion) {
+fn bench_serving_latency_small_batch(t: &Timer) {
     // Online ranking latency regime: one session (~16 candidates).
+    println!("== per-session latency ==");
     let d = generate(&GeneratorConfig::tiny(89));
     let idx: Vec<usize> = (0..16.min(d.test.len())).collect();
     let batch = Batch::from_split(&d.test, &idx);
@@ -52,10 +51,11 @@ fn bench_serving_latency_small_batch(c: &mut Criterion) {
         OptimConfig::default(),
     );
     let serving = ServingMoe::new(&model);
-    c.bench_function("serving_session_16items", |b| {
-        b.iter(|| black_box(serving.predict(&batch)));
-    });
+    t.report("serving/session_16items", || serving.predict(&batch));
 }
 
-criterion_group!(benches, bench_sparse_vs_dense, bench_serving_latency_small_batch);
-criterion_main!(benches);
+fn main() {
+    let t = Timer::from_env();
+    bench_sparse_vs_dense(&t);
+    bench_serving_latency_small_batch(&t);
+}

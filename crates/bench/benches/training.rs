@@ -1,10 +1,9 @@
 //! Training-step throughput for every model in the zoo — the cost side
 //! of the paper's Table 2 comparison ("the computational complexity of
 //! 4-MMoE is approximately the same as the MoE-based model ...").
+//! Run with `cargo bench --bench training` (`--smoke` for a quick pass).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
-
+use amoe_bench::timing::Timer;
 use amoe_core::ranker::OptimConfig;
 use amoe_core::{DnnModel, MmoeModel, MoeConfig, MoeModel, Ranker};
 use amoe_dataset::buckets::equal_count_task_buckets;
@@ -17,17 +16,14 @@ fn setup() -> (amoe_dataset::Dataset, Batch) {
     (d, batch)
 }
 
-fn bench_train_step(c: &mut Criterion) {
+fn bench_train_step(t: &Timer) {
+    println!("== train_step, batch 256 ==");
     let (d, batch) = setup();
     let optim = OptimConfig::default();
     let base = MoeConfig::default();
-    let mut group = c.benchmark_group("train_step_b256");
-    group.sample_size(20);
 
     let mut dnn = DnnModel::new(&d.meta, &base, optim);
-    group.bench_function("DNN", |b| {
-        b.iter(|| black_box(dnn.train_step(&batch)));
-    });
+    t.report("train_step/DNN", || dnn.train_step(&batch));
 
     for (label, cfg) in [
         ("MoE", MoeConfig::moe()),
@@ -36,28 +32,22 @@ fn bench_train_step(c: &mut Criterion) {
         ("Adv&HSC-MoE", MoeConfig::adv_hsc_moe()),
     ] {
         let mut model = MoeModel::new(&d.meta, cfg, optim);
-        group.bench_function(label, |b| {
-            b.iter(|| black_box(model.train_step(&batch)));
-        });
+        t.report(&format!("train_step/{label}"), || model.train_step(&batch));
     }
 
     let tasks = equal_count_task_buckets(&d.train, d.hierarchy.num_tc(), 10);
     for n in [4usize, 10] {
         let mut mmoe = MmoeModel::new(&d.meta, &base, n, tasks.clone(), optim);
-        group.bench_function(BenchmarkId::new("MMoE", n), |b| {
-            b.iter(|| black_box(mmoe.train_step(&batch)));
-        });
+        t.report(&format!("train_step/MMoE-{n}"), || mmoe.train_step(&batch));
     }
-    group.finish();
 }
 
-fn bench_train_step_vs_n(c: &mut Criterion) {
+fn bench_train_step_vs_n(t: &Timer) {
     // Dense training cost grows with N (all experts computed); the
-    // companion `serving` bench shows the sparse path does not.
+    // companion `serving_sweep` bin shows the sparse path does not.
+    println!("== train_step vs N (Adv&HSC) ==");
     let (d, batch) = setup();
     let optim = OptimConfig::default();
-    let mut group = c.benchmark_group("train_step_vs_n");
-    group.sample_size(15);
     for n in [10usize, 16, 32] {
         let cfg = MoeConfig {
             n_experts: n,
@@ -67,12 +57,12 @@ fn bench_train_step_vs_n(c: &mut Criterion) {
             ..MoeConfig::default()
         };
         let mut model = MoeModel::new(&d.meta, cfg, optim);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &(), |b, ()| {
-            b.iter(|| black_box(model.train_step(&batch)));
-        });
+        t.report(&format!("train_step_vs_n/{n}"), || model.train_step(&batch));
     }
-    group.finish();
 }
 
-criterion_group!(benches, bench_train_step, bench_train_step_vs_n);
-criterion_main!(benches);
+fn main() {
+    let t = Timer::from_env();
+    bench_train_step(&t);
+    bench_train_step_vs_n(&t);
+}

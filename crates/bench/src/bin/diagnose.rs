@@ -17,13 +17,19 @@ fn main() {
 
     let (members, totals) = size_buckets(&dataset.train, dataset.hierarchy.num_tc(), 4);
     eprintln!("bucket sizes: {totals:?}");
-    let bucket_tests: Vec<_> = members.iter().map(|tcs| dataset.test.filter_tcs(tcs)).collect();
+    let bucket_tests: Vec<_> = members
+        .iter()
+        .map(|tcs| dataset.test.filter_tcs(tcs))
+        .collect();
 
     // Sample for gate clustering.
     let mut rng = Rng::seed_from(999);
     let n_sample = 400.min(dataset.test.len());
     let idx = rng.sample_distinct(dataset.test.len(), n_sample);
-    let tc_labels: Vec<usize> = idx.iter().map(|&i| dataset.test.examples[i].true_tc).collect();
+    let tc_labels: Vec<usize> = idx
+        .iter()
+        .map(|&i| dataset.test.examples[i].true_tc)
+        .collect();
     let batch = Batch::from_split(&dataset.test, &idx);
 
     let probe = |label: &str, mc: MoeConfig| {
@@ -38,19 +44,66 @@ fn main() {
             .collect();
         println!(
             "{label:<22} AUC {:.4} NDCG {:.4} | gate-sil(TC) {sil:+.3} | bucket AUC {}",
-            r.auc, r.ndcg, bucket_auc.join(" ")
+            r.auc,
+            r.ndcg,
+            bucket_auc.join(" ")
         );
     };
 
     probe("MoE", base.clone());
-    probe("HSC-MoE l1=1e-2", MoeConfig { hsc: true, lambda1: 1e-2, ..base.clone() });
-    probe("HSC-MoE l1=1e-1", MoeConfig { hsc: true, lambda1: 1e-1, ..base.clone() });
-    probe("MoE K=2", MoeConfig { top_k: 2, ..base.clone() });
-    probe("HSC K=2 l1=1e-2", MoeConfig { top_k: 2, hsc: true, lambda1: 1e-2, ..base.clone() });
-    probe("MoE nolb", MoeConfig { load_balance: 0.0, ..base.clone() });
-    probe("MoE nonoise", MoeConfig { noisy_gating: false, ..base.clone() });
+    probe(
+        "HSC-MoE l1=1e-2",
+        MoeConfig {
+            hsc: true,
+            lambda1: 1e-2,
+            ..base.clone()
+        },
+    );
+    probe(
+        "HSC-MoE l1=1e-1",
+        MoeConfig {
+            hsc: true,
+            lambda1: 1e-1,
+            ..base.clone()
+        },
+    );
+    probe(
+        "MoE K=2",
+        MoeConfig {
+            top_k: 2,
+            ..base.clone()
+        },
+    );
+    probe(
+        "HSC K=2 l1=1e-2",
+        MoeConfig {
+            top_k: 2,
+            hsc: true,
+            lambda1: 1e-2,
+            ..base.clone()
+        },
+    );
+    probe(
+        "MoE nolb",
+        MoeConfig {
+            load_balance: 0.0,
+            ..base.clone()
+        },
+    );
+    probe(
+        "MoE nonoise",
+        MoeConfig {
+            noisy_gating: false,
+            ..base.clone()
+        },
+    );
     probe(
         "HSC nonoise l1=1e-2",
-        MoeConfig { noisy_gating: false, hsc: true, lambda1: 1e-2, ..base },
+        MoeConfig {
+            noisy_gating: false,
+            hsc: true,
+            lambda1: 1e-2,
+            ..base
+        },
     );
 }

@@ -1,6 +1,8 @@
 //! Runs the complete reproduction: every table and figure, sharing one
 //! trained model zoo where the paper reuses the same models.
-use amoe_experiments::{case_study, fig2, fig3, fig5, fig6, fig7, table1, table2, table3, table5, table6};
+use amoe_experiments::{
+    case_study, fig2, fig3, fig5, fig6, fig7, table1, table2, table3, table5, table6,
+};
 
 fn main() {
     let cli = amoe_bench::parse_cli("repro_all");
@@ -27,5 +29,8 @@ fn main() {
     println!("{}\n", table6::run(cfg));
     println!("{}\n", fig7::run(cfg));
 
-    eprintln!("total reproduction time: {:.1}s", t0.elapsed().as_secs_f64());
+    eprintln!(
+        "total reproduction time: {:.1}s",
+        t0.elapsed().as_secs_f64()
+    );
 }

@@ -1,0 +1,90 @@
+//! Serving throughput sweep over expert count `N` and thread count.
+//!
+//! Demonstrates the two serving claims at once:
+//!
+//! * **Constant cost in `N`** (paper Sec. 4.2): at fixed `K`, sparse
+//!   top-K throughput stays roughly flat as `N` grows.
+//! * **Parallel speedup**: the per-expert dispatch fans out across the
+//!   pool runtime, so throughput scales with threads (up to the number
+//!   of physical cores — on a 1-core host every thread count ties).
+//!
+//! Usage: `cargo run --release --bin serving_sweep -- [--smoke]`
+//!
+//! `--smoke` shrinks the measurement for CI. The sweep always verifies
+//! that logits are bit-identical across thread counts before timing.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+use amoe_bench::timing::Timer;
+use amoe_core::ranker::OptimConfig;
+use amoe_core::serving::ServingMoe;
+use amoe_core::{MoeConfig, MoeModel};
+use amoe_dataset::{generate, Batch, GeneratorConfig};
+use amoe_tensor::pool;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn main() {
+    let timer = Timer::from_env();
+    let smoke = timer.reps <= Timer::smoke().reps;
+    let d = generate(&GeneratorConfig::tiny(88));
+    let batch_len = if smoke { 128 } else { 512 }.min(d.test.len());
+    let idx: Vec<usize> = (0..batch_len).collect();
+    let batch = Batch::from_split(&d.test, &idx);
+    let expert_counts: &[usize] = if smoke { &[8, 32] } else { &[8, 16, 32, 64] };
+    let reps = if smoke { 3 } else { 30 };
+
+    println!(
+        "serving sweep: batch {batch_len}, K=2, host parallelism {}",
+        std::thread::available_parallelism().map_or(1, usize::from)
+    );
+    println!(
+        "{:>4} {:>8} {:>14} {:>14} {:>10}",
+        "N", "threads", "ms/batch", "examples/s", "speedup"
+    );
+
+    for &n in expert_counts {
+        let cfg = MoeConfig {
+            n_experts: n,
+            top_k: 2,
+            ..MoeConfig::default()
+        };
+        let model = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+        let serving = ServingMoe::new(&model);
+
+        // Determinism gate: every thread count must produce bitwise
+        // identical logits before any of them is worth timing.
+        pool::set_threads(1);
+        let reference = serving.predict_logits(&batch);
+        for &t in &THREAD_COUNTS[1..] {
+            pool::set_threads(t);
+            assert_eq!(
+                serving.predict_logits(&batch),
+                reference,
+                "logits diverged at N={n}, {t} threads"
+            );
+        }
+
+        let mut baseline_ms = f64::NAN;
+        for &t in &THREAD_COUNTS {
+            pool::set_threads(t);
+            // Warm-up, then time the whole rep loop for a stable mean.
+            black_box(serving.predict_logits(&batch));
+            let start = Instant::now();
+            for _ in 0..reps {
+                black_box(serving.predict_logits(&batch));
+            }
+            let ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+            if t == 1 {
+                baseline_ms = ms;
+            }
+            let throughput = batch_len as f64 / (ms / 1e3);
+            println!(
+                "{n:>4} {t:>8} {ms:>14.3} {throughput:>14.0} {:>9.2}x",
+                baseline_ms / ms
+            );
+        }
+        pool::clear_threads_override();
+    }
+}

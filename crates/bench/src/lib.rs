@@ -12,6 +12,8 @@
 //! --quiet           suppress progress logs
 //! ```
 
+pub mod timing;
+
 use amoe_experiments::SuiteConfig;
 
 /// Parsed common flags.
@@ -41,7 +43,9 @@ pub fn parse_cli(binary: &str) -> Cli {
     };
     while i < args.len() {
         let need_value = |i: usize| -> &str {
-            args.get(i + 1).map(String::as_str).unwrap_or_else(|| usage())
+            args.get(i + 1)
+                .map(String::as_str)
+                .unwrap_or_else(|| usage())
         };
         match args[i].as_str() {
             "--seed" => {

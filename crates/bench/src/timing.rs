@@ -1,0 +1,90 @@
+//! Plain `std::time::Instant` micro-benchmark harness.
+//!
+//! The workspace builds offline with no external crates, so the bench
+//! targets time closures directly: a few warm-up runs, then `reps`
+//! measured runs, reporting the minimum (least-noise) and mean wall
+//! time. Set `AMOE_BENCH_SMOKE=1` (or pass `--smoke` to the bench
+//! binaries) to shrink repetitions to a CI-friendly smoke pass.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Repetition policy for one benchmark run.
+#[derive(Clone, Copy, Debug)]
+pub struct Timer {
+    /// Unmeasured warm-up invocations.
+    pub warmup: usize,
+    /// Measured invocations.
+    pub reps: usize,
+}
+
+impl Timer {
+    /// Full-fidelity defaults.
+    #[must_use]
+    pub fn standard() -> Self {
+        Timer {
+            warmup: 3,
+            reps: 15,
+        }
+    }
+
+    /// Minimal repetitions for CI smoke runs.
+    #[must_use]
+    pub fn smoke() -> Self {
+        Timer { warmup: 1, reps: 2 }
+    }
+
+    /// Picks [`Timer::smoke`] when `AMOE_BENCH_SMOKE=1` is set or
+    /// `--smoke` appears in the process arguments.
+    #[must_use]
+    pub fn from_env() -> Self {
+        let smoke = std::env::var("AMOE_BENCH_SMOKE").is_ok_and(|v| v.trim() == "1")
+            || std::env::args().any(|a| a == "--smoke");
+        if smoke {
+            Self::smoke()
+        } else {
+            Self::standard()
+        }
+    }
+
+    /// Times `f`, returning `(min_ms, mean_ms)` over the measured reps.
+    pub fn measure_ms<T>(&self, mut f: impl FnMut() -> T) -> (f64, f64) {
+        for _ in 0..self.warmup {
+            black_box(f());
+        }
+        let mut total = 0.0f64;
+        let mut min = f64::INFINITY;
+        for _ in 0..self.reps.max(1) {
+            let t = Instant::now();
+            black_box(f());
+            let ms = t.elapsed().as_secs_f64() * 1e3;
+            total += ms;
+            min = min.min(ms);
+        }
+        (min, total / self.reps.max(1) as f64)
+    }
+
+    /// Times `f` and prints one aligned report row.
+    pub fn report<T>(&self, label: &str, f: impl FnMut() -> T) -> (f64, f64) {
+        let (min, mean) = self.measure_ms(f);
+        println!("{label:<44} {min:>10.3} ms min {mean:>10.3} ms mean");
+        (min, mean)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measure_returns_positive_times() {
+        let t = Timer { warmup: 0, reps: 3 };
+        let (min, mean) = t.measure_ms(|| (0..1000).map(|i| i as f64).sum::<f64>());
+        assert!(min >= 0.0 && mean >= min);
+    }
+
+    #[test]
+    fn smoke_uses_fewer_reps() {
+        assert!(Timer::smoke().reps < Timer::standard().reps);
+    }
+}

@@ -144,7 +144,9 @@ mod tests {
         let cfg = MoeConfig {
             n_experts: 6,
             top_k: 2,
-            tower: TowerConfig { hidden: vec![12, 6] },
+            tower: TowerConfig {
+                hidden: vec![12, 6],
+            },
             ..MoeConfig::default()
         };
         let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());

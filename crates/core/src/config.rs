@@ -149,8 +149,7 @@ impl MoeConfig {
         );
         if self.adversarial {
             assert!(
-                self.n_adversarial >= 1
-                    && self.n_adversarial <= self.n_experts - self.top_k,
+                self.n_adversarial >= 1 && self.n_adversarial <= self.n_experts - self.top_k,
                 "n_adversarial {} out of 1..={} (N - K idle experts)",
                 self.n_adversarial,
                 self.n_experts - self.top_k

@@ -62,7 +62,10 @@ pub fn extract_category_model(model: &MoeModel, sc: usize) -> CategoryModel {
         .find("emb.sc.table")
         .expect("SC embedding table exists");
     let sc_vocab = params.value(sc_table).rows();
-    assert!(sc < sc_vocab, "sub-category {sc} out of vocabulary {sc_vocab}");
+    assert!(
+        sc < sc_vocab,
+        "sub-category {sc} out of vocabulary {sc_vocab}"
+    );
 
     // Gate distribution for this SC.
     let sc_emb = params.value(sc_table).gather_rows(&[sc]);
@@ -134,7 +137,12 @@ impl CategoryModel {
     /// dedicated category.
     #[must_use]
     pub fn predict(&self, batch: &Batch) -> Vec<f32> {
-        ops::sigmoid(&Matrix::from_vec(batch.len(), 1, self.predict_logits(batch))).into_vec()
+        ops::sigmoid(&Matrix::from_vec(
+            batch.len(),
+            1,
+            self.predict_logits(batch),
+        ))
+        .into_vec()
     }
 
     /// Raw ensemble logits under the frozen mixture.
@@ -216,7 +224,9 @@ mod tests {
         let cfg = MoeConfig {
             n_experts: 6,
             top_k: 2,
-            tower: TowerConfig { hidden: vec![12, 6] },
+            tower: TowerConfig {
+                hidden: vec![12, 6],
+            },
             ..MoeConfig::default()
         };
         let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
@@ -271,7 +281,10 @@ mod tests {
         let extracted = extract_category_model(&m, sc);
         let h = extracted.mixture_entropy();
         let max_h = (m.config().top_k as f64).ln();
-        assert!(h >= 0.0 && h <= max_h + 1e-9, "entropy {h} out of [0, {max_h}]");
+        assert!(
+            h >= 0.0 && h <= max_h + 1e-9,
+            "entropy {h} out of [0, {max_h}]"
+        );
     }
 
     #[test]

@@ -36,16 +36,27 @@ impl FeatureEncoder {
         rng: &mut Rng,
     ) -> Self {
         let d = config.emb_dim;
-        let query = matches!(config.gate_input, GateInput::QueryTcSc).then(|| {
-            Embedding::new(params, "emb.query", meta.query_vocab, d, rng)
-        });
+        let query = matches!(config.gate_input, GateInput::QueryTcSc)
+            .then(|| Embedding::new(params, "emb.query", meta.query_vocab, d, rng));
         FeatureEncoder {
             sc: Embedding::new(params, "emb.sc", meta.sc_vocab, d, rng),
             tc: Embedding::new(params, "emb.tc", meta.tc_vocab, d, rng),
             brand: Embedding::new(params, "emb.brand", meta.brand_vocab, d, rng),
             shop: Embedding::new(params, "emb.shop", meta.shop_vocab, d, rng),
-            user_segment: Embedding::new(params, "emb.user_segment", meta.user_segment_vocab, d, rng),
-            price_bucket: Embedding::new(params, "emb.price_bucket", meta.price_bucket_vocab, d, rng),
+            user_segment: Embedding::new(
+                params,
+                "emb.user_segment",
+                meta.user_segment_vocab,
+                d,
+                rng,
+            ),
+            price_bucket: Embedding::new(
+                params,
+                "emb.price_bucket",
+                meta.price_bucket_vocab,
+                d,
+                rng,
+            ),
             query,
             n_numeric: meta.n_numeric,
         }

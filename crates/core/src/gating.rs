@@ -47,10 +47,14 @@ impl NoisyTopKGate {
         noisy: bool,
         rng: &mut Rng,
     ) -> Self {
-        let w = params.add(format!("{name}.w"), Init::XavierUniform.sample(in_dim, n_experts, rng));
+        let w = params.add(
+            format!("{name}.w"),
+            Init::XavierUniform.sample(in_dim, n_experts, rng),
+        );
         // Noise weights start at zero: training begins deterministic and
         // learns where exploration noise helps (Shazeer's initialisation).
-        let w_noise = noisy.then(|| params.add(format!("{name}.w_noise"), Matrix::zeros(in_dim, n_experts)));
+        let w_noise =
+            noisy.then(|| params.add(format!("{name}.w_noise"), Matrix::zeros(in_dim, n_experts)));
         NoisyTopKGate {
             w,
             w_noise,
@@ -196,10 +200,7 @@ mod tests {
         let bound = ps.bind(&tape);
         let out = gate.forward(&tape, &bound, tape.leaf(x), 2, Some(&mut rng));
         // Clean logits equal x·W regardless of the noise branch.
-        let expect = amoe_tensor::matmul::matmul(
-            &out.clean_logits.value(),
-            &Matrix::eye(8),
-        );
+        let expect = amoe_tensor::matmul::matmul(&out.clean_logits.value(), &Matrix::eye(8));
         amoe_tensor::assert_close(&out.clean_logits.value(), &expect, 1e-6, 1e-7);
         assert_ne!(out.clean_logits.value(), out.noisy_logits.value());
     }

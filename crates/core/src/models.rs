@@ -216,6 +216,17 @@ impl MoeModel {
         self.inference_gate.logits_infer(&self.params, gate_input)
     }
 
+    /// Raw ensemble logits (pre-sigmoid) through the dense training
+    /// graph — every expert computed, evaluation mode (no gating noise).
+    /// The reference the sparse serving path is tested against.
+    #[must_use]
+    pub fn predict_logits_dense(&self, batch: &Batch) -> Vec<f32> {
+        let tape = Tape::new();
+        let bound = self.params.bind(&tape);
+        let fwd = self.forward(&tape, &bound, batch, None);
+        fwd.logit.value().into_vec()
+    }
+
     /// Raw per-expert logits and the top-K selection mask for a batch
     /// (the case-study visual, Table 7 / Fig. 8).
     #[must_use]
@@ -495,12 +506,7 @@ impl MmoeModel {
         masks
     }
 
-    fn forward<'t>(
-        &self,
-        tape: &'t Tape,
-        bound: &amoe_nn::Bound<'t>,
-        batch: &Batch,
-    ) -> Var<'t> {
+    fn forward<'t>(&self, tape: &'t Tape, bound: &amoe_nn::Bound<'t>, batch: &Batch) -> Var<'t> {
         let x = self.encoder.input(tape, bound, batch);
         let masks = self.task_masks(batch);
         // Per-example gate logits: each row comes from its task's gate.
@@ -582,10 +588,7 @@ mod tests {
     fn names_match_variants() {
         let d = data();
         let o = OptimConfig::default();
-        assert_eq!(
-            MoeModel::new(&d.meta, small_cfg(), o).name(),
-            "MoE"
-        );
+        assert_eq!(MoeModel::new(&d.meta, small_cfg(), o).name(), "MoE");
         let adv = MoeConfig {
             adversarial: true,
             ..small_cfg()
@@ -736,10 +739,7 @@ mod tests {
         assert_eq!(scores.shape(), (5, cfg.n_experts));
         assert_eq!(mask.shape(), (5, cfg.n_experts));
         for r in 0..5 {
-            assert_eq!(
-                mask.row(r).iter().filter(|&&v| v > 0.0).count(),
-                cfg.top_k
-            );
+            assert_eq!(mask.row(r).iter().filter(|&&v| v > 0.0).count(), cfg.top_k);
         }
     }
 }

@@ -40,7 +40,11 @@ pub struct StepStats {
 }
 
 /// A trainable ranking model scoring (query, product) candidates.
-pub trait Ranker {
+///
+/// `Sync` is a supertrait so evaluation can shard batches across the
+/// [`amoe_tensor::pool`] runtime; models hold plain data (tapes are
+/// created per call), so every implementor satisfies it for free.
+pub trait Ranker: Sync {
     /// Model name for reports (e.g. `"Adv & HSC-MoE"`).
     fn name(&self) -> String;
 

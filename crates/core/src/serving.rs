@@ -7,13 +7,64 @@
 //! routed to it, run one batched MLP forward, and scatter the weighted
 //! outputs back. No autograd tape, no per-op value cloning.
 //!
-//! The `serving_scaling` bench demonstrates the constant-cost property by
-//! sweeping `N` at fixed `K`.
+//! Experts are mutually independent, so the per-expert batched forwards
+//! fan out across the [`amoe_tensor::pool`] runtime. The scatter that
+//! mixes expert outputs back into the ensemble logit runs serially in
+//! expert order, which keeps the floating-point accumulation order — and
+//! therefore the logits — bit-identical for every `AMOE_THREADS` value.
+//!
+//! The `serving_sweep` bench demonstrates the constant-cost property by
+//! sweeping `N` at fixed `K`, and the parallel speedup by sweeping the
+//! thread count.
+
+use std::time::{Duration, Instant};
 
 use amoe_dataset::Batch;
-use amoe_tensor::{ops, topk, Matrix};
+use amoe_tensor::{ops, pool, topk, Matrix};
 
 use crate::models::MoeModel;
+
+/// Lightweight instrumentation of one sparse-serving call.
+#[derive(Clone, Debug, Default)]
+pub struct Stats {
+    /// Number of examples scored.
+    pub examples: usize,
+    /// Threads the pool was allowed to use.
+    pub threads: usize,
+    /// Wall time encoding inputs and computing gate logits.
+    pub gate_time: Duration,
+    /// Wall time of the parallel per-expert gather + MLP forwards.
+    pub expert_time: Duration,
+    /// Wall time of the serial weighted scatter.
+    pub scatter_time: Duration,
+    /// Examples routed to each expert (length `N`; sums to ≈ `K·examples`).
+    pub dispatch: Vec<usize>,
+}
+
+impl Stats {
+    /// Total wall time across the instrumented phases.
+    #[must_use]
+    pub fn total_time(&self) -> Duration {
+        self.gate_time + self.expert_time + self.scatter_time
+    }
+
+    /// End-to-end throughput in examples per second.
+    #[must_use]
+    pub fn examples_per_sec(&self) -> f64 {
+        let secs = self.total_time().as_secs_f64();
+        if secs > 0.0 {
+            self.examples as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+
+    /// Number of experts that received at least one example.
+    #[must_use]
+    pub fn active_experts(&self) -> usize {
+        self.dispatch.iter().filter(|&&n| n > 0).count()
+    }
+}
 
 /// A frozen, inference-only view of a trained [`MoeModel`].
 ///
@@ -45,12 +96,26 @@ impl<'m> ServingMoe<'m> {
     /// Raw ensemble logits (pre-sigmoid) via the sparse path.
     #[must_use]
     pub fn predict_logits(&self, batch: &Batch) -> Vec<f32> {
+        self.predict_logits_with_stats(batch).0
+    }
+
+    /// Raw ensemble logits plus per-call instrumentation.
+    #[must_use]
+    pub fn predict_logits_with_stats(&self, batch: &Batch) -> (Vec<f32>, Stats) {
         let model = self.model;
         let params = model.params();
         let cfg = model.config();
         let b = batch.len();
+        let n_experts = model.experts().len();
+        let mut stats = Stats {
+            examples: b,
+            threads: pool::threads(),
+            dispatch: vec![0; n_experts],
+            ..Stats::default()
+        };
 
         // Dense input once; gating from the SC embedding.
+        let gate_start = Instant::now();
         let x = model.encoder_input_infer(batch);
         let gate_in = model.gate_input_infer(batch);
         let logits = model.gate_logits_infer(&gate_in);
@@ -62,37 +127,56 @@ impl<'m> ServingMoe<'m> {
             let idx = topk::top_k_indices(logits.row(r), cfg.top_k);
             // Softmax over the selected logits only (Eq. 6–7).
             let max = logits[(r, idx[0])];
-            let mut exps: Vec<f32> = idx
-                .iter()
-                .map(|&c| (logits[(r, c)] - max).exp())
-                .collect();
+            let mut exps: Vec<f32> = idx.iter().map(|&c| (logits[(r, c)] - max).exp()).collect();
             let sum: f32 = exps.iter().sum();
             exps.iter_mut().for_each(|e| *e /= sum);
             weights[r] = exps;
             selected[r] = idx;
         }
+        stats.gate_time = gate_start.elapsed();
 
-        // Expert-major batching: run each expert once over its routed rows.
-        let mut out = vec![0f32; b];
-        for (e_idx, expert) in model.experts().iter().enumerate() {
-            let mut rows = Vec::new();
-            let mut coeffs = Vec::new();
-            for r in 0..b {
-                if let Some(pos) = selected[r].iter().position(|&c| c == e_idx) {
-                    rows.push(r);
-                    coeffs.push(weights[r][pos]);
-                }
+        // Expert-major batching. Routing tables are built serially (cheap,
+        // and their order defines the deterministic scatter below); the
+        // per-expert gather + batched MLP forward — the dominant cost —
+        // fans out across the pool, one independent task per expert.
+        let expert_start = Instant::now();
+        let mut routed_rows: Vec<Vec<usize>> = vec![Vec::new(); n_experts];
+        let mut routed_coeffs: Vec<Vec<f32>> = vec![Vec::new(); n_experts];
+        for r in 0..b {
+            for (pos, &e_idx) in selected[r].iter().enumerate() {
+                routed_rows[e_idx].push(r);
+                routed_coeffs[e_idx].push(weights[r][pos]);
             }
+        }
+        for (e_idx, rows) in routed_rows.iter().enumerate() {
+            stats.dispatch[e_idx] = rows.len();
+        }
+        let expert_outputs: Vec<Option<Matrix>> = pool::map_tasks(n_experts, |e_idx| {
+            let rows = &routed_rows[e_idx];
             if rows.is_empty() {
-                continue;
+                return None;
             }
-            let xe = x.gather_rows(&rows);
-            let ye = expert.infer(params, &xe);
-            for ((&r, &w), row) in rows.iter().zip(&coeffs).zip(0..ye.rows()) {
+            let xe = x.gather_rows(rows);
+            Some(model.experts()[e_idx].infer(params, &xe))
+        });
+        stats.expert_time = expert_start.elapsed();
+
+        // Serial scatter in expert order: every thread count accumulates
+        // each `out[r]` in the same order, so logits are bit-identical.
+        let scatter_start = Instant::now();
+        let mut out = vec![0f32; b];
+        for (e_idx, ye) in expert_outputs.iter().enumerate() {
+            let Some(ye) = ye else { continue };
+            for ((&r, &w), row) in routed_rows[e_idx]
+                .iter()
+                .zip(&routed_coeffs[e_idx])
+                .zip(0..ye.rows())
+            {
                 out[r] += w * ye[(row, 0)];
             }
         }
-        out
+        stats.scatter_time = scatter_start.elapsed();
+        (out, stats)
     }
 }
 
@@ -108,7 +192,9 @@ mod tests {
         let cfg = MoeConfig {
             n_experts: 6,
             top_k: 2,
-            tower: TowerConfig { hidden: vec![12, 6] },
+            tower: TowerConfig {
+                hidden: vec![12, 6],
+            },
             ..MoeConfig::default()
         };
         let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
@@ -140,5 +226,39 @@ mod tests {
         let logits = ServingMoe::new(&m).predict_logits(&batch);
         assert_eq!(logits.len(), 20);
         assert!(logits.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn stats_account_for_dispatch() {
+        let (d, m) = trained_model();
+        let batch = Batch::from_split(&d.test, &(0..40).collect::<Vec<_>>());
+        let (logits, stats) = ServingMoe::new(&m).predict_logits_with_stats(&batch);
+        assert_eq!(logits.len(), 40);
+        assert_eq!(stats.examples, 40);
+        assert_eq!(stats.dispatch.len(), m.config().n_experts);
+        // Every example activates exactly K experts.
+        let routed: usize = stats.dispatch.iter().sum();
+        assert_eq!(routed, 40 * m.config().top_k);
+        assert!(stats.active_experts() >= 1);
+        assert!(stats.threads >= 1);
+        assert!(stats.examples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn logits_identical_across_thread_counts() {
+        let (d, m) = trained_model();
+        let batch = Batch::from_split(&d.test, &(0..60).collect::<Vec<_>>());
+        let serving = ServingMoe::new(&m);
+        amoe_tensor::pool::set_threads(1);
+        let reference = serving.predict_logits(&batch);
+        for t in [2usize, 4, 8] {
+            amoe_tensor::pool::set_threads(t);
+            assert_eq!(
+                serving.predict_logits(&batch),
+                reference,
+                "logits diverged at {t} threads"
+            );
+        }
+        amoe_tensor::pool::clear_threads_override();
     }
 }

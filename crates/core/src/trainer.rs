@@ -2,6 +2,7 @@
 
 use amoe_dataset::{Batch, Batcher, Split};
 use amoe_metrics::{log_loss, roc_auc, session_auc, session_ndcg, SessionEval};
+use amoe_tensor::pool;
 
 use crate::ranker::{Ranker, StepStats};
 
@@ -111,16 +112,25 @@ impl Trainer {
     }
 
     /// Scores every example of `split` in evaluation batches.
+    ///
+    /// Batches are independent (evaluation mode is stateless), so they
+    /// shard across the [`amoe_tensor::pool`] runtime; per-batch score
+    /// vectors are concatenated in batch order, which keeps the output
+    /// identical to the serial sweep for every `AMOE_THREADS` value.
     #[must_use]
     pub fn score_split(&self, model: &dyn Ranker, split: &Split) -> Vec<f32> {
-        let mut scores = Vec::with_capacity(split.len());
-        let mut start = 0;
-        while start < split.len() {
-            let end = (start + self.config.eval_batch_size).min(split.len());
+        let bs = self.config.eval_batch_size.max(1);
+        let n_batches = split.len().div_ceil(bs);
+        let per_batch = pool::map_tasks(n_batches, |bi| {
+            let start = bi * bs;
+            let end = (start + bs).min(split.len());
             let idx: Vec<usize> = (start..end).collect();
             let batch = Batch::from_split(split, &idx);
-            scores.extend(model.predict(&batch));
-            start = end;
+            model.predict(&batch)
+        });
+        let mut scores = Vec::with_capacity(split.len());
+        for s in per_batch {
+            scores.extend(s);
         }
         scores
     }
@@ -182,7 +192,9 @@ mod tests {
         MoeConfig {
             n_experts: 4,
             top_k: 2,
-            tower: TowerConfig { hidden: vec![12, 6] },
+            tower: TowerConfig {
+                hidden: vec![12, 6],
+            },
             ..MoeConfig::default()
         }
     }

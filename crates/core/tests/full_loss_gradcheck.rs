@@ -215,9 +215,15 @@ fn adv_gradient_reaches_both_expert_sets() {
         let in_adv = (0..B).any(|r| f.adv_mask[(r, e)] == 1.0);
         let diff = amoe_tensor::ops::sub(&g0[4 + 2 * e], &g1[4 + 2 * e]).frob_norm();
         if in_topk || in_adv {
-            assert!(diff > 1e-6, "expert {e} (topk={in_topk}, adv={in_adv}) got no adv gradient");
+            assert!(
+                diff > 1e-6,
+                "expert {e} (topk={in_topk}, adv={in_adv}) got no adv gradient"
+            );
         } else {
-            assert!(diff < 1e-6, "untouched expert {e} received adv gradient {diff}");
+            assert!(
+                diff < 1e-6,
+                "untouched expert {e} received adv gradient {diff}"
+            );
         }
     }
 }

@@ -30,7 +30,9 @@ pub fn equal_count_task_buckets(split: &Split, num_tc: usize, n_buckets: usize) 
     let mut load = vec![0usize; n_buckets];
     let mut assignment = vec![0usize; num_tc];
     for tc in order {
-        let lightest = (0..n_buckets).min_by_key(|&b| load[b]).expect("n_buckets > 0");
+        let lightest = (0..n_buckets)
+            .min_by_key(|&b| load[b])
+            .expect("n_buckets > 0");
         assignment[tc] = lightest;
         load[lightest] += counts[tc];
     }
@@ -41,7 +43,11 @@ pub fn equal_count_task_buckets(split: &Split, num_tc: usize, n_buckets: usize) 
 /// size (Fig. 5's x-axis). Returns `(bucket → member TCs, bucket → total
 /// examples)`; bucket 0 holds the smallest categories.
 #[must_use]
-pub fn size_buckets(split: &Split, num_tc: usize, n_buckets: usize) -> (Vec<Vec<TcId>>, Vec<usize>) {
+pub fn size_buckets(
+    split: &Split,
+    num_tc: usize,
+    n_buckets: usize,
+) -> (Vec<Vec<TcId>>, Vec<usize>) {
     assert!(n_buckets > 0, "size_buckets: n_buckets == 0");
     let counts = split.tc_counts(num_tc);
     let mut order: Vec<TcId> = (0..num_tc).collect();
@@ -82,7 +88,10 @@ mod tests {
         let nonzero_min = *load.iter().filter(|&&l| l > 0).min().unwrap();
         // Greedy LPT keeps the spread within the largest single category.
         let biggest = *counts.iter().max().unwrap();
-        assert!(max - nonzero_min <= biggest, "load spread too wide: {load:?}");
+        assert!(
+            max - nonzero_min <= biggest,
+            "load spread too wide: {load:?}"
+        );
     }
 
     #[test]

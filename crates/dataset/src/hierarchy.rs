@@ -90,7 +90,10 @@ impl CategoryHierarchy {
     /// Panics if `subs_per_tc == 0`.
     #[must_use]
     pub fn with_subs(subs_per_tc: usize) -> Self {
-        assert!(subs_per_tc > 0, "CategoryHierarchy: subs_per_tc must be > 0");
+        assert!(
+            subs_per_tc > 0,
+            "CategoryHierarchy: subs_per_tc must be > 0"
+        );
         let mut names = Vec::new();
         let mut classes = Vec::new();
         let mut shares = Vec::new();
@@ -233,7 +236,14 @@ mod tests {
     #[test]
     fn named_categories_exist() {
         let h = CategoryHierarchy::default();
-        for name in ["Mobile Phone", "Books", "Clothing", "Foods", "Sports", "Computer"] {
+        for name in [
+            "Mobile Phone",
+            "Books",
+            "Clothing",
+            "Foods",
+            "Sports",
+            "Computer",
+        ] {
             assert!(h.tc_by_name(name).is_some(), "missing {name}");
         }
     }

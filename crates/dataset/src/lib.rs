@@ -27,8 +27,8 @@
 //! Every artefact is deterministic in the generator seed.
 
 pub mod batch;
-pub mod buckets;
 pub mod brands;
+pub mod buckets;
 pub mod config;
 pub mod data;
 pub mod export;
@@ -40,7 +40,7 @@ pub mod truth;
 
 pub use batch::{Batch, Batcher};
 pub use config::GeneratorConfig;
-pub use data::{Dataset, DatasetMeta, Example, Split, N_NUMERIC, NUMERIC_FEATURE_NAMES};
+pub use data::{Dataset, DatasetMeta, Example, Split, NUMERIC_FEATURE_NAMES, N_NUMERIC};
 pub use generator::generate;
-pub use hierarchy::{CategoryHierarchy, SemanticClass, TcId, ScId};
+pub use hierarchy::{CategoryHierarchy, ScId, SemanticClass, TcId};
 pub use stats::DatasetStats;

@@ -85,9 +85,7 @@ mod tests {
         let c = QueryClassifier::new(0.8, 0.5);
         let mut rng = Rng::seed_from(2);
         let n = 20_000;
-        let correct = (0..n)
-            .filter(|_| c.predict(&h, 10, &mut rng) == 10)
-            .count();
+        let correct = (0..n).filter(|_| c.predict(&h, 10, &mut rng) == 10).count();
         let rate = correct as f64 / n as f64;
         assert!((rate - 0.8).abs() < 0.02, "rate {rate}");
     }

@@ -102,7 +102,11 @@ impl DatasetStats {
 
 impl fmt::Display for DatasetStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "{:<34}{:>14}{:>14}", "Statistics", "Training Set", "Test Set")?;
+        writeln!(
+            f,
+            "{:<34}{:>14}{:>14}",
+            "Statistics", "Training Set", "Test Set"
+        )?;
         writeln!(
             f,
             "{:<34}{:>14}{:>14}",

@@ -176,7 +176,11 @@ impl fmt::Display for CaseStudy {
         writeln!(f, "Per-expert logits ([x] = selected by the gate):")?;
         for (i, item) in self.items.iter().enumerate() {
             writeln!(f, "item #{i} (label {}):", u8::from(item.label))?;
-            writeln!(f, "  MoE : {}", fmt_experts(&item.moe_experts, &item.moe_selected))?;
+            writeln!(
+                f,
+                "  MoE : {}",
+                fmt_experts(&item.moe_experts, &item.moe_selected)
+            )?;
             writeln!(
                 f,
                 "  Ours: {}",

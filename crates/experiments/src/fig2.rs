@@ -85,9 +85,7 @@ pub fn run(config: &SuiteConfig) -> Fig2 {
         .map(|&f| {
             kept_subs
                 .iter()
-                .map(|&sc| {
-                    feature_importance(&dataset.train, f, None, Some(sc)).unwrap_or(0.5)
-                })
+                .map(|&sc| feature_importance(&dataset.train, f, None, Some(sc)).unwrap_or(0.5))
                 .collect()
         })
         .collect();
@@ -176,9 +174,19 @@ mod tests {
         // FEATURES[1] = good_comment_ratio; categories: Clothing(0),
         // Sports(1), Foods(2), Computer(3), Electronics(4).
         let gcr = &f.inter[1];
-        assert!(gcr[0] > gcr[3], "Clothing {:.4} !> Computer {:.4}", gcr[0], gcr[3]);
+        assert!(
+            gcr[0] > gcr[3],
+            "Clothing {:.4} !> Computer {:.4}",
+            gcr[0],
+            gcr[3]
+        );
         // FEATURES[0] = sales_volume: stronger in Computer than Clothing.
         let sv = &f.inter[0];
-        assert!(sv[3] > sv[0], "Computer {:.4} !> Clothing {:.4}", sv[3], sv[0]);
+        assert!(
+            sv[3] > sv[0],
+            "Computer {:.4} !> Clothing {:.4}",
+            sv[3],
+            sv[0]
+        );
     }
 }

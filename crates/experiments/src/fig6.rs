@@ -68,10 +68,7 @@ fn sample_examples(zoo: &TrainedZoo, rng: &mut Rng) -> (Vec<usize>, Vec<usize>) 
     let labels: Vec<usize> = idx
         .iter()
         .map(|&i| {
-            let class = zoo
-                .dataset
-                .hierarchy
-                .tc_class(test.examples[i].true_tc);
+            let class = zoo.dataset.hierarchy.tc_class(test.examples[i].true_tc);
             SemanticClass::ALL
                 .iter()
                 .position(|&c| c == class)

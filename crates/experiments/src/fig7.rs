@@ -102,12 +102,7 @@ impl fmt::Display for Fig7 {
         )?;
         let mut t = TextTable::new(&["N", "K", "D", "AUC"]);
         for r in &self.rows {
-            t.row(&[
-                r.n.to_string(),
-                r.k.to_string(),
-                r.d.to_string(),
-                m4(r.auc),
-            ]);
+            t.row(&[r.n.to_string(), r.k.to_string(), r.d.to_string(), m4(r.auc)]);
         }
         write!(f, "{}", t.render())?;
         let b = self.best();

@@ -1,9 +1,7 @@
 //! Shared experiment configuration and the trained model zoo.
 
 use amoe_core::ranker::OptimConfig;
-use amoe_core::{
-    DnnModel, MmoeModel, MoeConfig, MoeModel, Ranker, TrainConfig, Trainer,
-};
+use amoe_core::{DnnModel, MmoeModel, MoeConfig, MoeModel, Ranker, TrainConfig, Trainer};
 use amoe_dataset::buckets::equal_count_task_buckets;
 use amoe_dataset::{generate, Dataset, GeneratorConfig};
 
@@ -188,11 +186,9 @@ impl TrainedZoo {
         let mut moe = MoeModel::new(&dataset.meta, base.clone(), optim);
         trainer.fit(&mut moe, &dataset.train);
 
-        let task_of_tc =
-            equal_count_task_buckets(&dataset.train, dataset.hierarchy.num_tc(), 10);
+        let task_of_tc = equal_count_task_buckets(&dataset.train, dataset.hierarchy.num_tc(), 10);
         log("4-MMoE");
-        let mut mmoe4 =
-            MmoeModel::new(&dataset.meta, &base, 4, task_of_tc.clone(), optim);
+        let mut mmoe4 = MmoeModel::new(&dataset.meta, &base, 4, task_of_tc.clone(), optim);
         trainer.fit(&mut mmoe4, &dataset.train);
 
         log("10-MMoE");

@@ -68,8 +68,7 @@ pub fn run_with_zoo(config: &SuiteConfig) -> (Table2, TrainedZoo) {
                 tables.iter().map(|t| f(&t.rows[r].report)).sum::<f64>() / n
             };
             let auc = mean(&|e| e.auc);
-            let auc_std =
-                (aucs.iter().map(|a| (a - auc) * (a - auc)).sum::<f64>() / n).sqrt();
+            let auc_std = (aucs.iter().map(|a| (a - auc) * (a - auc)).sum::<f64>() / n).sqrt();
             ModelRow {
                 name: tables[0].rows[r].name.clone(),
                 report: EvalReport {

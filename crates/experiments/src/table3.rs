@@ -48,8 +48,14 @@ pub fn run(config: &SuiteConfig) -> Table3 {
                 .unwrap_or_else(|| panic!("category {name} missing from hierarchy"))
         })
         .collect();
-    let train_splits: Vec<Split> = tcs.iter().map(|&tc| dataset.train.filter_tcs(&[tc])).collect();
-    let test_splits: Vec<Split> = tcs.iter().map(|&tc| dataset.test.filter_tcs(&[tc])).collect();
+    let train_splits: Vec<Split> = tcs
+        .iter()
+        .map(|&tc| dataset.train.filter_tcs(&[tc]))
+        .collect();
+    let test_splits: Vec<Split> = tcs
+        .iter()
+        .map(|&tc| dataset.test.filter_tcs(&[tc]))
+        .collect();
     let joint_train = dataset.train.filter_tcs(&tcs);
 
     let eval_on = |model: &dyn Ranker, which: usize| -> f64 {

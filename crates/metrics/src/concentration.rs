@@ -23,7 +23,10 @@ pub struct BrandConcentration {
 /// # Panics
 /// Panics if `share` is not in `(0, 1]`.
 #[must_use]
-pub fn brand_concentration(observations: &[(usize, f32)], share: f64) -> Option<BrandConcentration> {
+pub fn brand_concentration(
+    observations: &[(usize, f32)],
+    share: f64,
+) -> Option<BrandConcentration> {
     assert!(
         share > 0.0 && share <= 1.0,
         "brand_concentration: share must be in (0,1], got {share}"

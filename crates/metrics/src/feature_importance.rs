@@ -80,8 +80,8 @@ mod tests {
     fn filters_restrict_sessions() {
         let d = generate(&GeneratorConfig::tiny(7));
         // A TC with no sessions yields None.
-        let empty_tc = (0..d.hierarchy.num_tc())
-            .find(|&tc| d.train.examples.iter().all(|e| e.true_tc != tc));
+        let empty_tc =
+            (0..d.hierarchy.num_tc()).find(|&tc| d.train.examples.iter().all(|e| e.true_tc != tc));
         if let Some(tc) = empty_tc {
             assert!(feature_importance(&d.train, 1, Some(tc), None).is_none());
         }

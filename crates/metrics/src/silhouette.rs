@@ -85,12 +85,7 @@ mod tests {
 
     #[test]
     fn shuffled_labels_near_zero_or_negative() {
-        let pts = Matrix::from_rows(&[
-            &[0.0, 0.0],
-            &[10.0, 10.0],
-            &[0.1, 0.0],
-            &[10.1, 10.0],
-        ]);
+        let pts = Matrix::from_rows(&[&[0.0, 0.0], &[10.0, 10.0], &[0.1, 0.0], &[10.1, 10.0]]);
         // Labels split each true cluster across classes.
         let s = silhouette_score(&pts, &[0, 0, 1, 1]).unwrap();
         assert!(s < 0.1, "s = {s}");

@@ -69,9 +69,17 @@ mod tests {
         let m = Init::HeNormal.sample(256, 128, &mut rng);
         let n = m.len() as f32;
         let mean: f32 = m.as_slice().iter().sum::<f32>() / n;
-        let var: f32 = m.as_slice().iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / n;
+        let var: f32 = m
+            .as_slice()
+            .iter()
+            .map(|v| (v - mean) * (v - mean))
+            .sum::<f32>()
+            / n;
         let expected = 2.0 / 256.0;
-        assert!((var - expected).abs() < 0.2 * expected, "var {var} vs {expected}");
+        assert!(
+            (var - expected).abs() < 0.2 * expected,
+            "var {var} vs {expected}"
+        );
     }
 
     #[test]

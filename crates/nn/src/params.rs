@@ -191,7 +191,10 @@ impl std::fmt::Debug for ParamSet {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let mut d = f.debug_map();
         for e in &self.entries {
-            d.entry(&e.name, &format_args!("{}x{}", e.value.rows(), e.value.cols()));
+            d.entry(
+                &e.name,
+                &format_args!("{}x{}", e.value.rows(), e.value.cols()),
+            );
         }
         d.finish()
     }

@@ -226,7 +226,10 @@ mod tests {
         let mut dst = ParamSet::new();
         dst.add("y", Matrix::zeros(1, 3));
         dst.load_values_from(&src).unwrap();
-        assert_eq!(dst.value(dst.find("y").unwrap()), src.value(src.find("y").unwrap()));
+        assert_eq!(
+            dst.value(dst.find("y").unwrap()),
+            src.value(src.find("y").unwrap())
+        );
     }
 
     #[test]

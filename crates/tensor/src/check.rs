@@ -1,0 +1,170 @@
+//! Minimal seeded property-testing harness.
+//!
+//! The workspace builds offline with no external crates, so the
+//! proptest-style tests are driven by this helper instead: a fixed
+//! number of cases, each derived from a per-case seed, with the failing
+//! seed reported so a collapse can be replayed as a one-liner.
+//!
+//! ```
+//! use amoe_tensor::check::{self, Checker};
+//!
+//! Checker::new("add_commutes").run(|rng| {
+//!     let (r, c) = check::dims(rng, 1, 8);
+//!     let a = check::matrix(rng, r, c, 10.0);
+//!     let b = check::matrix(rng, r, c, 10.0);
+//!     check::ensure(
+//!         amoe_tensor::ops::add(&a, &b) == amoe_tensor::ops::add(&b, &a),
+//!         "addition must commute",
+//!     )
+//! });
+//! ```
+//!
+//! Environment knobs: `AMOE_CHECK_CASES` overrides the case count,
+//! `AMOE_CHECK_SEED` pins the base seed (use the value printed by a
+//! failure report to replay it).
+
+use crate::rng::{splitmix64, Rng};
+use crate::Matrix;
+
+/// Default number of generated cases per property.
+pub const DEFAULT_CASES: usize = 256;
+
+/// Outcome of one property evaluation: `Err` carries the message shown
+/// in the failure report.
+pub type CaseResult = Result<(), String>;
+
+/// Convenience constructor for property results.
+///
+/// # Errors
+/// Returns `Err(msg)` when `cond` is false.
+pub fn ensure(cond: bool, msg: impl Into<String>) -> CaseResult {
+    if cond {
+        Ok(())
+    } else {
+        Err(msg.into())
+    }
+}
+
+/// A property runner: evaluates a closure over many seeded cases and
+/// panics with a replayable report on the first failure.
+pub struct Checker {
+    label: String,
+    cases: usize,
+    base_seed: u64,
+}
+
+impl Checker {
+    /// Creates a runner for the property `label`, honouring the
+    /// `AMOE_CHECK_CASES` / `AMOE_CHECK_SEED` environment overrides.
+    /// The default base seed is derived from the label so distinct
+    /// properties explore distinct inputs.
+    #[must_use]
+    pub fn new(label: &str) -> Self {
+        let cases = std::env::var("AMOE_CHECK_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(DEFAULT_CASES);
+        let base_seed = std::env::var("AMOE_CHECK_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or_else(|| {
+                let mut h = 0xA0E5_EED5_u64;
+                for b in label.bytes() {
+                    h = splitmix64(&mut h) ^ u64::from(b);
+                }
+                h
+            });
+        Checker {
+            label: label.to_string(),
+            cases,
+            base_seed,
+        }
+    }
+
+    /// Overrides the number of cases (e.g. for expensive properties).
+    #[must_use]
+    pub fn cases(mut self, cases: usize) -> Self {
+        self.cases = cases;
+        self
+    }
+
+    /// Evaluates the property once per case, each case seeded with
+    /// `splitmix64(base_seed + case_index)`.
+    ///
+    /// # Panics
+    /// Panics on the first failing case, reporting the property label,
+    /// case index, message, and the `AMOE_CHECK_SEED` value that replays
+    /// exactly that case (with `AMOE_CHECK_CASES=1`).
+    pub fn run(&self, mut property: impl FnMut(&mut Rng) -> CaseResult) {
+        for case in 0..self.cases {
+            let mut state = self.base_seed.wrapping_add(case as u64);
+            let case_seed = splitmix64(&mut state);
+            let mut rng = Rng::seed_from(case_seed);
+            if let Err(msg) = property(&mut rng) {
+                panic!(
+                    "property '{}' failed at case {}/{}: {}\n  replay with: \
+                     AMOE_CHECK_SEED={} AMOE_CHECK_CASES=1",
+                    self.label,
+                    case,
+                    self.cases,
+                    msg,
+                    self.base_seed.wrapping_add(case as u64),
+                );
+            }
+        }
+    }
+}
+
+/// Draws a `(rows, cols)` pair uniformly in `[lo, hi]` each.
+#[must_use]
+pub fn dims(rng: &mut Rng, lo: usize, hi: usize) -> (usize, usize) {
+    assert!(lo >= 1 && lo <= hi, "check::dims: bad range {lo}..={hi}");
+    let span = hi - lo + 1;
+    (lo + rng.below(span), lo + rng.below(span))
+}
+
+/// A `rows x cols` matrix with entries uniform in `[-amplitude, amplitude)`.
+#[must_use]
+pub fn matrix(rng: &mut Rng, rows: usize, cols: usize, amplitude: f32) -> Matrix {
+    rng.uniform_matrix(rows, cols, -amplitude, amplitude)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut seen = 0usize;
+        Checker::new("always_true").cases(17).run(|_| {
+            seen += 1;
+            Ok(())
+        });
+        assert_eq!(seen, 17);
+    }
+
+    #[test]
+    #[should_panic(expected = "property 'always_false' failed at case 0")]
+    fn failing_property_reports_seed() {
+        Checker::new("always_false")
+            .cases(4)
+            .run(|_| Err("intentional".to_string()));
+    }
+
+    #[test]
+    fn dims_in_range() {
+        let mut rng = Rng::seed_from(1);
+        for _ in 0..100 {
+            let (r, c) = dims(&mut rng, 2, 9);
+            assert!((2..=9).contains(&r) && (2..=9).contains(&c));
+        }
+    }
+
+    #[test]
+    fn matrix_respects_amplitude() {
+        let mut rng = Rng::seed_from(2);
+        let m = matrix(&mut rng, 6, 6, 2.5);
+        assert!(m.as_slice().iter().all(|v| (-2.5..2.5).contains(v)));
+    }
+}

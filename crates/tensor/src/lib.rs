@@ -22,10 +22,16 @@
 //!   contiguous FMA sweep the compiler can auto-vectorise; that is within
 //!   a small factor of hand-tuned kernels at the matrix sizes used here
 //!   (hidden dims ≤ 512).
+//! * Products large enough to amortise thread spawn are row-blocked
+//!   across the [`pool`] runtime; each worker owns a disjoint block of
+//!   output rows, so results are bit-identical for every thread count
+//!   (see `AMOE_THREADS`).
 
-pub mod matrix;
+pub mod check;
 pub mod matmul;
+pub mod matrix;
 pub mod ops;
+pub mod pool;
 pub mod reduce;
 pub mod rng;
 pub mod topk;

@@ -4,8 +4,44 @@
 //! rather than materialising transposes we provide dedicated kernels that
 //! read the operands in their natural layout. All kernels accumulate in the
 //! `ikj` order so the innermost loop is a contiguous stride-1 sweep.
+//!
+//! Products above [`PAR_FLOP_THRESHOLD`] multiply-adds are row-blocked
+//! across the [`pool`](crate::pool) runtime. Every flavour partitions the
+//! *output* rows into disjoint contiguous blocks, and each block is
+//! computed with exactly the serial loop order, so the result is
+//! bit-identical for every thread count.
 
+use crate::pool;
 use crate::Matrix;
+
+/// Minimum `m * k * n` multiply-add count before a product is worth
+/// fanning out to the pool. Below this the scoped-spawn overhead
+/// (~10–20 µs per region) exceeds the kernel time.
+pub const PAR_FLOP_THRESHOLD: usize = 1 << 17;
+
+/// True when a product of this shape should use the parallel path.
+#[inline]
+fn parallel_worthwhile(m: usize, k: usize, n: usize) -> bool {
+    m > 1 && m.saturating_mul(k).saturating_mul(n) >= PAR_FLOP_THRESHOLD && pool::threads() > 1
+}
+
+/// Serial `ikj` kernel over output rows `[first_row, first_row + block_rows)`
+/// of `C = A·B`, writing into the block's own slice.
+fn matmul_block(a: &Matrix, b: &Matrix, first_row: usize, block: &mut [f32]) {
+    let (k, n) = (a.cols(), b.cols());
+    for (local, c_row) in block.chunks_mut(n).enumerate() {
+        let a_row = a.row(first_row + local);
+        for (p, &aip) in a_row.iter().enumerate().take(k) {
+            if aip == 0.0 {
+                continue;
+            }
+            let b_row = b.row(p);
+            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
+                *cv += aip * bv;
+            }
+        }
+    }
+}
 
 /// `C = A (m x k) · B (k x n)`.
 ///
@@ -22,20 +58,36 @@ pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (p, &aip) in a_row.iter().enumerate().take(k) {
+    if parallel_worthwhile(m, k, n) {
+        pool::par_row_blocks(c.as_mut_slice(), m, n, |first_row, block| {
+            matmul_block(a, b, first_row, block);
+        });
+    } else {
+        matmul_block(a, b, 0, c.as_mut_slice());
+    }
+    c
+}
+
+/// Serial kernel over output rows `[first_row, first_row + block_rows)` of
+/// `C = Aᵀ·B` where `A` is stored `k x m`. The loop stays `p`-major so each
+/// output row accumulates in the same order as the serial kernel.
+fn matmul_tn_block(a: &Matrix, b: &Matrix, first_row: usize, block: &mut [f32]) {
+    let (k, n) = (a.rows(), b.cols());
+    let block_rows = block.len() / n;
+    for p in 0..k {
+        let a_row = a.row(p);
+        let b_row = b.row(p);
+        for local in 0..block_rows {
+            let aip = a_row[first_row + local];
             if aip == 0.0 {
                 continue;
             }
-            let b_row = b.row(p);
+            let c_row = &mut block[local * n..(local + 1) * n];
             for (cv, &bv) in c_row.iter_mut().zip(b_row) {
                 *cv += aip * bv;
             }
         }
     }
-    c
 }
 
 /// `C = Aᵀ (k x m)ᵀ · B (k x n)`, i.e. `A` is stored as `k x m` and used
@@ -51,20 +103,31 @@ pub fn matmul_tn(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (k, m, n) = (a.rows(), a.cols(), b.cols());
     let mut c = Matrix::zeros(m, n);
-    for p in 0..k {
-        let a_row = a.row(p);
-        let b_row = b.row(p);
-        for (i, &aip) in a_row.iter().enumerate().take(m) {
-            if aip == 0.0 {
-                continue;
-            }
-            let c_row = c.row_mut(i);
-            for (cv, &bv) in c_row.iter_mut().zip(b_row) {
-                *cv += aip * bv;
-            }
-        }
+    if parallel_worthwhile(m, k, n) {
+        pool::par_row_blocks(c.as_mut_slice(), m, n, |first_row, block| {
+            matmul_tn_block(a, b, first_row, block);
+        });
+    } else {
+        matmul_tn_block(a, b, 0, c.as_mut_slice());
     }
     c
+}
+
+/// Serial dot-product kernel over output rows `[first_row, ...)` of
+/// `C = A·Bᵀ` where `B` is stored `n x k`.
+fn matmul_nt_block(a: &Matrix, b: &Matrix, first_row: usize, block: &mut [f32]) {
+    let (k, n) = (a.cols(), b.rows());
+    for (local, c_row) in block.chunks_mut(n).enumerate() {
+        let a_row = a.row(first_row + local);
+        for (j, cv) in c_row.iter_mut().enumerate() {
+            let b_row = b.row(j);
+            let mut acc = 0.0f32;
+            for p in 0..k {
+                acc += a_row[p] * b_row[p];
+            }
+            *cv += acc;
+        }
+    }
 }
 
 /// `C = A (m x k) · Bᵀ (n x k)ᵀ`, i.e. `B` is stored as `n x k` and used
@@ -80,17 +143,12 @@ pub fn matmul_nt(a: &Matrix, b: &Matrix) -> Matrix {
     );
     let (m, k, n) = (a.rows(), a.cols(), b.rows());
     let mut c = Matrix::zeros(m, n);
-    for i in 0..m {
-        let a_row = a.row(i);
-        let c_row = c.row_mut(i);
-        for (j, cv) in c_row.iter_mut().enumerate().take(n) {
-            let b_row = b.row(j);
-            let mut acc = 0.0f32;
-            for p in 0..k {
-                acc += a_row[p] * b_row[p];
-            }
-            *cv += acc;
-        }
+    if parallel_worthwhile(m, k, n) {
+        pool::par_row_blocks(c.as_mut_slice(), m, n, |first_row, block| {
+            matmul_nt_block(a, b, first_row, block);
+        });
+    } else {
+        matmul_nt_block(a, b, 0, c.as_mut_slice());
     }
     c
 }
@@ -153,5 +211,27 @@ mod tests {
             .map(|(x, y)| x * y)
             .sum();
         assert!((c[(0, 0)] - expect).abs() < 1e-5);
+    }
+
+    /// Shapes chosen to clear [`PAR_FLOP_THRESHOLD`] so the parallel
+    /// path actually runs; results must be bit-identical to serial.
+    #[test]
+    fn parallel_matches_serial_bitwise() {
+        let mut rng = Rng::seed_from(19);
+        let (m, k, n) = (96, 64, 64); // 96*64*64 = 393216 > threshold
+        let a = rng.normal_matrix(m, k, 0.0, 1.0);
+        let b = rng.normal_matrix(k, n, 0.0, 1.0);
+        let g = rng.normal_matrix(m, n, 0.0, 1.0);
+        let bt = rng.normal_matrix(n, k, 0.0, 1.0);
+
+        crate::pool::set_threads(1);
+        let (c1, t1, n1) = (matmul(&a, &b), matmul_tn(&a, &g), matmul_nt(&g, &bt));
+        for threads in [2usize, 3, 8] {
+            crate::pool::set_threads(threads);
+            assert_eq!(matmul(&a, &b), c1, "matmul at {threads} threads");
+            assert_eq!(matmul_tn(&a, &g), t1, "matmul_tn at {threads} threads");
+            assert_eq!(matmul_nt(&g, &bt), n1, "matmul_nt at {threads} threads");
+        }
+        crate::pool::clear_threads_override();
     }
 }

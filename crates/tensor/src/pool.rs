@@ -1,0 +1,228 @@
+//! Scoped parallel runtime over `std::thread`.
+//!
+//! The workspace must build offline with no external crates, so it
+//! carries its own fork/join primitives instead of rayon. The design
+//! constraints, in priority order:
+//!
+//! 1. **Determinism.** Results must be bit-identical for every thread
+//!    count. Workers therefore only ever write to *disjoint* output
+//!    regions (contiguous row blocks, or per-task slots merged in task
+//!    order); there is no atomic float accumulation and no
+//!    reduction whose association depends on scheduling.
+//! 2. **No unsafe.** Borrowed closures run under [`std::thread::scope`],
+//!    which guarantees quiescence before the call returns; disjoint
+//!    mutable access goes through `chunks_mut`.
+//! 3. **Graceful degradation.** With one configured thread (or one
+//!    task) every helper degenerates to the plain serial loop — same
+//!    code path, zero spawns.
+//!
+//! The thread budget comes from, in order: [`set_threads`], the
+//! `AMOE_THREADS` environment variable, and
+//! [`std::thread::available_parallelism`]. It is a *budget per parallel
+//! region*, not a persistent worker set: threads are spawned scoped per
+//! call, which costs ~10–20 µs per region on Linux and is amortised by
+//! the size thresholds the callers apply (large matmuls, per-expert
+//! batched forwards, whole eval batches).
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Thread-count override; 0 means "not set, consult the environment".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The number of threads parallel regions may use.
+///
+/// Resolution order: [`set_threads`] override, then `AMOE_THREADS`
+/// (ignored unless it parses to a positive integer), then
+/// [`std::thread::available_parallelism`], then 1.
+#[must_use]
+pub fn threads() -> usize {
+    let forced = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if forced > 0 {
+        return forced;
+    }
+    if let Ok(v) = std::env::var("AMOE_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            if n > 0 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Forces the thread budget for subsequent parallel regions (overrides
+/// `AMOE_THREADS`). Intended for benches sweeping thread counts and for
+/// determinism tests; production code should prefer the environment.
+///
+/// # Panics
+/// Panics if `n == 0`.
+pub fn set_threads(n: usize) {
+    assert!(n > 0, "pool::set_threads: thread count must be positive");
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Clears a [`set_threads`] override, returning control to the
+/// environment.
+pub fn clear_threads_override() {
+    THREAD_OVERRIDE.store(0, Ordering::Relaxed);
+}
+
+/// Runs `f(task_index)` for every task in `0..n_tasks` and returns the
+/// results **in task order**, regardless of which worker ran what.
+///
+/// Tasks are distributed dynamically (an atomic cursor), so uneven task
+/// costs balance across workers; determinism is preserved because each
+/// result lands in its task's slot, not in arrival order.
+pub fn map_tasks<T, F>(n_tasks: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let workers = threads().min(n_tasks);
+    if workers <= 1 {
+        return (0..n_tasks).map(f).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                s.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = cursor.fetch_add(1, Ordering::Relaxed);
+                        if i >= n_tasks {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, v) in h.join().expect("pool::map_tasks: worker panicked") {
+                slots[i] = Some(v);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("pool::map_tasks: every task must produce a value"))
+        .collect()
+}
+
+/// Runs `f(task_index)` for every task in `0..n_tasks` for its side
+/// effects. Same scheduling as [`map_tasks`].
+pub fn for_each_task<F>(n_tasks: usize, f: F)
+where
+    F: Fn(usize) + Sync,
+{
+    map_tasks(n_tasks, |i| f(i));
+}
+
+/// Splits the row-major buffer `out` (logically `rows x row_len`) into
+/// one contiguous row block per worker and runs
+/// `f(first_row, block_slice)` on each block in parallel.
+///
+/// Blocks are disjoint `&mut` slices, so no synchronisation of the
+/// output is needed and the result is bit-identical to running `f` over
+/// the whole buffer serially (callers must make `f` compute a row from
+/// inputs and the row's own slice only).
+///
+/// # Panics
+/// Panics if `out.len() != rows * row_len`.
+pub fn par_row_blocks<F>(out: &mut [f32], rows: usize, row_len: usize, f: F)
+where
+    F: Fn(usize, &mut [f32]) + Sync,
+{
+    assert_eq!(
+        out.len(),
+        rows * row_len,
+        "pool::par_row_blocks: buffer is not rows x row_len"
+    );
+    let workers = threads().min(rows).max(1);
+    if workers <= 1 {
+        f(0, out);
+        return;
+    }
+    let rows_per_block = rows.div_ceil(workers);
+    std::thread::scope(|s| {
+        for (b, block) in out.chunks_mut(rows_per_block * row_len).enumerate() {
+            let f = &f;
+            s.spawn(move || f(b * rows_per_block, block));
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn threads_is_positive() {
+        assert!(threads() >= 1);
+    }
+
+    #[test]
+    fn map_tasks_preserves_order() {
+        set_threads(4);
+        let out = map_tasks(100, |i| i * i);
+        clear_threads_override();
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn map_tasks_serial_matches_parallel() {
+        set_threads(1);
+        let serial = map_tasks(33, |i| (i as f32).sin());
+        set_threads(8);
+        let parallel = map_tasks(33, |i| (i as f32).sin());
+        clear_threads_override();
+        assert_eq!(serial, parallel);
+    }
+
+    #[test]
+    fn map_tasks_empty_and_single() {
+        assert_eq!(map_tasks(0, |i| i), Vec::<usize>::new());
+        assert_eq!(map_tasks(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn for_each_task_covers_all_tasks() {
+        set_threads(3);
+        let hits: Vec<AtomicUsize> = (0..57).map(|_| AtomicUsize::new(0)).collect();
+        for_each_task(57, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        clear_threads_override();
+        assert!(hits.iter().all(|h| h.load(Ordering::Relaxed) == 1));
+    }
+
+    #[test]
+    fn par_row_blocks_disjoint_and_complete() {
+        let (rows, cols) = (37, 5);
+        for t in [1usize, 2, 4, 16] {
+            set_threads(t);
+            let mut buf = vec![0f32; rows * cols];
+            par_row_blocks(&mut buf, rows, cols, |first_row, block| {
+                for (local, row) in block.chunks_mut(cols).enumerate() {
+                    let r = first_row + local;
+                    for (c, v) in row.iter_mut().enumerate() {
+                        *v = (r * cols + c) as f32;
+                    }
+                }
+            });
+            clear_threads_override();
+            let expect: Vec<f32> = (0..rows * cols).map(|i| i as f32).collect();
+            assert_eq!(buf, expect, "thread count {t}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rows x row_len")]
+    fn par_row_blocks_rejects_bad_shape() {
+        let mut buf = vec![0f32; 7];
+        par_row_blocks(&mut buf, 2, 4, |_, _| {});
+    }
+}

@@ -18,7 +18,11 @@ pub fn mean(a: &Matrix) -> f32 {
 #[must_use]
 pub fn variance(a: &Matrix) -> f32 {
     let mu = mean(a);
-    a.as_slice().iter().map(|v| (v - mu) * (v - mu)).sum::<f32>() / a.len() as f32
+    a.as_slice()
+        .iter()
+        .map(|v| (v - mu) * (v - mu))
+        .sum::<f32>()
+        / a.len() as f32
 }
 
 /// Row sums: `m x n -> m x 1`.

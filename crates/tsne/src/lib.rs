@@ -116,8 +116,8 @@ pub fn tsne(data: &Matrix, config: &TsneConfig) -> Matrix {
                     gains[(i, d)] + 0.2
                 };
                 gains[(i, d)] = gain;
-                dy[(i, d)] = momentum as f32 * dy[(i, d)]
-                    - (config.learning_rate as f32) * gain * g;
+                dy[(i, d)] =
+                    momentum as f32 * dy[(i, d)] - (config.learning_rate as f32) * gain * g;
                 y[(i, d)] += dy[(i, d)];
             }
         }
@@ -191,7 +191,11 @@ fn joint_probabilities(data: &Matrix, perplexity: f64) -> Vec<f64> {
             }
             if diff > 0.0 {
                 lo = beta;
-                beta = if hi == f64::MAX { beta * 2.0 } else { 0.5 * (beta + hi) };
+                beta = if hi == f64::MAX {
+                    beta * 2.0
+                } else {
+                    0.5 * (beta + hi)
+                };
             } else {
                 hi = beta;
                 beta = if lo == f64::MIN_POSITIVE {
@@ -201,7 +205,12 @@ fn joint_probabilities(data: &Matrix, perplexity: f64) -> Vec<f64> {
                 };
             }
         }
-        let sum: f64 = row.iter().enumerate().filter(|&(j, _)| j != i).map(|(_, &v)| v).sum();
+        let sum: f64 = row
+            .iter()
+            .enumerate()
+            .filter(|&(j, _)| j != i)
+            .map(|(_, &v)| v)
+            .sum();
         let sum = sum.max(1e-300);
         for j in 0..n {
             if j != i {

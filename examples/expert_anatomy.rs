@@ -20,10 +20,7 @@ fn mean_expert_correlation(experts: &Matrix) -> f64 {
         for b in a + 1..cols {
             let (xa, xb) = (col(a), col(b));
             let n = rows as f64;
-            let (ma, mb) = (
-                xa.iter().sum::<f64>() / n,
-                xb.iter().sum::<f64>() / n,
-            );
+            let (ma, mb) = (xa.iter().sum::<f64>() / n, xb.iter().sum::<f64>() / n);
             let cov: f64 = xa.iter().zip(&xb).map(|(x, y)| (x - ma) * (y - mb)).sum();
             let va: f64 = xa.iter().map(|x| (x - ma) * (x - ma)).sum();
             let vb: f64 = xb.iter().map(|y| (y - mb) * (y - mb)).sum();

@@ -15,7 +15,7 @@
 //! Run with: `cargo run --release --example extract_and_finetune`
 
 use adv_hsc_moe::dataset::{generate, Batch, GeneratorConfig};
-use adv_hsc_moe::moe::extraction::{extract_category_model, extraction_fidelity, expert_usage};
+use adv_hsc_moe::moe::extraction::{expert_usage, extract_category_model, extraction_fidelity};
 use adv_hsc_moe::moe::finetune::FineTuner;
 use adv_hsc_moe::moe::ranker::OptimConfig;
 use adv_hsc_moe::moe::{MoeConfig, MoeModel, Ranker, TrainConfig, Trainer};
@@ -49,7 +49,10 @@ fn main() {
     // Expert usage audit: which experts carry real traffic.
     let usage = expert_usage(&model);
     let pretty: Vec<String> = usage.iter().map(|u| format!("{:.0}%", u * 100.0)).collect();
-    println!("expert usage across all sub-categories: {}", pretty.join(" "));
+    println!(
+        "expert usage across all sub-categories: {}",
+        pretty.join(" ")
+    );
 
     // 2. Extract a dedicated model for the busiest predicted SC.
     let mut counts = vec![0usize; data.meta.sc_vocab];
@@ -95,7 +98,10 @@ fn main() {
     if idx.len() >= 5 {
         let batch = Batch::from_split(&data.test, &idx);
         let fid = extraction_fidelity(&model, &extracted, &batch);
-        println!("  max |ensemble − extracted| on {} candidates: {fid:.2e}", idx.len());
+        println!(
+            "  max |ensemble − extracted| on {} candidates: {fid:.2e}",
+            idx.len()
+        );
     }
 
     // 3. Fine-tune only this category's experts on its own split.

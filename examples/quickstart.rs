@@ -80,7 +80,10 @@ fn main() {
         .load_values_from(&restored)
         .expect("restore weights");
     let again = trainer.evaluate(&model, &data.test);
-    assert!((again.auc - ours.auc).abs() < 1e-9, "checkpoint changed the model");
+    assert!(
+        (again.auc - ours.auc).abs() < 1e-9,
+        "checkpoint changed the model"
+    );
     println!("\ncheckpoint round-trip OK ({})", path.display());
     std::fs::remove_file(&path).ok();
 }

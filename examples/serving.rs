@@ -25,8 +25,14 @@ fn main() {
         ..TrainConfig::default()
     });
 
-    println!("batch of {} candidates, K = 4 active experts\n", batch.len());
-    println!("{:>4}  {:>12}  {:>12}  {:>8}", "N", "sparse (ms)", "dense (ms)", "ratio");
+    println!(
+        "batch of {} candidates, K = 4 active experts\n",
+        batch.len()
+    );
+    println!(
+        "{:>4}  {:>12}  {:>12}  {:>8}",
+        "N", "sparse (ms)", "dense (ms)", "ratio"
+    );
 
     for n in [8usize, 16, 32, 64] {
         let mut model = MoeModel::new(

@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Offline CI gate for the adv-hsc-moe workspace.
+#
+# Everything here must pass with no network access: the workspace has
+# zero external dependencies and Cargo.lock is committed. Usage:
+#
+#   scripts/ci.sh            # full gate
+#   SKIP_FMT=1 scripts/ci.sh # skip the format check (e.g. no rustfmt)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+step() { printf '\n== %s ==\n' "$*"; }
+
+if [[ -z "${SKIP_FMT:-}" ]]; then
+  step "cargo fmt --check"
+  cargo fmt --all --check
+fi
+
+step "cargo build --release --offline"
+cargo build --release --offline --workspace --benches --bins
+
+step "cargo test -q --offline (workspace)"
+cargo test -q --offline --release --workspace
+
+step "serving thread-sweep bench (smoke)"
+AMOE_BENCH_SMOKE=1 cargo run --release --offline -p amoe-bench --bin serving_sweep
+
+step "ci green"

@@ -1,0 +1,109 @@
+//! Thread-count determinism: the parallel runtime must be an
+//! implementation detail, invisible in the numbers. Same seed + same
+//! data ⇒ bit-identical serving logits and an identical `EvalReport`
+//! for `AMOE_THREADS` ∈ {1, 2, 8}.
+//!
+//! The guarantee comes from the pool's reduction discipline — workers
+//! write disjoint output regions and merges happen in task order — so
+//! these tests compare with exact equality, not tolerances. The sweep
+//! lives in a single `#[test]` because the thread budget is process
+//! global state.
+
+use adv_hsc_moe::dataset::{generate, Batch, GeneratorConfig};
+use adv_hsc_moe::moe::ranker::{OptimConfig, Ranker};
+use adv_hsc_moe::moe::serving::ServingMoe;
+use adv_hsc_moe::moe::{MoeConfig, MoeModel, TrainConfig, Trainer};
+use adv_hsc_moe::tensor::pool;
+
+const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
+
+#[test]
+fn eval_report_and_serving_logits_identical_across_thread_counts() {
+    let d = generate(&GeneratorConfig {
+        train_sessions: 300,
+        test_sessions: 120,
+        ..GeneratorConfig::tiny(47)
+    });
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 128,
+        eval_batch_size: 64, // several eval shards even on the tiny split
+        ..TrainConfig::default()
+    });
+
+    let mut reports = Vec::new();
+    let mut all_logits = Vec::new();
+    let mut all_scores = Vec::new();
+    for &threads in &THREAD_SWEEP {
+        pool::set_threads(threads);
+        // Fresh model per thread count: training itself goes through the
+        // (parallel) matmul kernels, so this also covers the claim that
+        // identical seeds give identical *trained weights*.
+        let mut model = MoeModel::new(
+            &d.meta,
+            MoeConfig {
+                n_experts: 8,
+                top_k: 2,
+                ..MoeConfig::adv_hsc_moe()
+            },
+            OptimConfig::default(),
+        );
+        trainer.fit(&mut model, &d.train);
+        let report = trainer.evaluate(&model, &d.test);
+        let scores = trainer.score_split(&model, &d.test);
+        let batch = Batch::from_split(&d.test, &(0..100.min(d.test.len())).collect::<Vec<_>>());
+        let logits = ServingMoe::new(&model).predict_logits(&batch);
+        reports.push((threads, report));
+        all_scores.push(scores);
+        all_logits.push(logits);
+    }
+    pool::clear_threads_override();
+
+    let (_, r0) = reports[0];
+    for &(threads, r) in &reports[1..] {
+        // EvalReport holds f64 aggregates; determinism means exact bits.
+        assert!(
+            r.auc == r0.auc
+                && r.ndcg == r0.ndcg
+                && r.ndcg_at_10 == r0.ndcg_at_10
+                && r.global_auc == r0.global_auc
+                && r.log_loss == r0.log_loss
+                && r.sessions == r0.sessions,
+            "EvalReport diverged at {threads} threads: {r:?} vs {r0:?}"
+        );
+    }
+    for (i, &threads) in THREAD_SWEEP.iter().enumerate().skip(1) {
+        assert_eq!(
+            all_scores[i], all_scores[0],
+            "eval scores diverged at {threads} threads"
+        );
+        assert_eq!(
+            all_logits[i], all_logits[0],
+            "serving logits diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn repeated_runs_same_seed_identical() {
+    // Control: two identical runs under the same (default) thread budget
+    // must agree bit-for-bit — rules out hidden global state.
+    let run = || {
+        let d = generate(&GeneratorConfig::tiny(48));
+        let mut model = MoeModel::new(
+            &d.meta,
+            MoeConfig {
+                n_experts: 6,
+                top_k: 2,
+                ..MoeConfig::default()
+            },
+            OptimConfig::default(),
+        );
+        let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+        for _ in 0..5 {
+            model.train_step(&batch);
+        }
+        ServingMoe::new(&model).predict_logits(&batch)
+    };
+    assert_eq!(run(), run());
+}

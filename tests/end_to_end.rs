@@ -4,9 +4,7 @@
 use adv_hsc_moe::dataset::{generate, Batch, GeneratorConfig};
 use adv_hsc_moe::moe::ranker::OptimConfig;
 use adv_hsc_moe::moe::serving::ServingMoe;
-use adv_hsc_moe::moe::{
-    DnnModel, MmoeModel, MoeConfig, MoeModel, Ranker, TrainConfig, Trainer,
-};
+use adv_hsc_moe::moe::{DnnModel, MmoeModel, MoeConfig, MoeModel, Ranker, TrainConfig, Trainer};
 use adv_hsc_moe::nn::ParamSet;
 
 fn small_data(seed: u64) -> adv_hsc_moe::dataset::Dataset {
@@ -73,7 +71,12 @@ fn every_model_beats_chance_end_to_end() {
             model.name(),
             r.auc
         );
-        assert!(r.log_loss < 0.6, "{} log-loss {:.3}", model.name(), r.log_loss);
+        assert!(
+            r.log_loss < 0.6,
+            "{} log-loss {:.3}",
+            model.name(),
+            r.log_loss
+        );
     }
 }
 
@@ -185,7 +188,10 @@ fn semi_oracle_upper_bounds_trained_models() {
         .test
         .examples
         .iter()
-        .map(|e| data.truth.logit(e.true_sc, &e.numeric, data.brands.quality(e.brand)))
+        .map(|e| {
+            data.truth
+                .logit(e.true_sc, &e.numeric, data.brands.quality(e.brand))
+        })
         .collect();
     let oracle = adv_hsc_moe::moe::trainer::evaluate_scores(&oracle_scores, &data.test);
     assert!(
