@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adv_hsc_moe-66ce2c2354465ab6.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadv_hsc_moe-66ce2c2354465ab6.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadv_hsc_moe-66ce2c2354465ab6.rmeta: src/lib.rs
+
+src/lib.rs:

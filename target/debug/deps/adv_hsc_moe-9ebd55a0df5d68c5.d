@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adv_hsc_moe-9ebd55a0df5d68c5.d: src/lib.rs
+
+/root/repo/target/debug/deps/adv_hsc_moe-9ebd55a0df5d68c5: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/amoe_autograd-405d1d16d7837e4c.d: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+/root/repo/target/debug/deps/libamoe_autograd-405d1d16d7837e4c.rlib: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+/root/repo/target/debug/deps/libamoe_autograd-405d1d16d7837e4c.rmeta: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/tape.rs:
+crates/autograd/src/var.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/amoe_core-7ef5018a5514762f.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libamoe_core-7ef5018a5514762f.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/debug/deps/libamoe_core-7ef5018a5514762f.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/config.rs:
+crates/core/src/extraction.rs:
+crates/core/src/features.rs:
+crates/core/src/finetune.rs:
+crates/core/src/gating.rs:
+crates/core/src/losses.rs:
+crates/core/src/models.rs:
+crates/core/src/ranker.rs:
+crates/core/src/serving.rs:
+crates/core/src/trainer.rs:

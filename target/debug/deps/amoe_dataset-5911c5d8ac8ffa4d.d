@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/amoe_dataset-5911c5d8ac8ffa4d.d: crates/dataset/src/lib.rs crates/dataset/src/batch.rs crates/dataset/src/brands.rs crates/dataset/src/buckets.rs crates/dataset/src/config.rs crates/dataset/src/data.rs crates/dataset/src/export.rs crates/dataset/src/generator.rs crates/dataset/src/hierarchy.rs crates/dataset/src/query_model.rs crates/dataset/src/stats.rs crates/dataset/src/truth.rs
+
+/root/repo/target/debug/deps/libamoe_dataset-5911c5d8ac8ffa4d.rlib: crates/dataset/src/lib.rs crates/dataset/src/batch.rs crates/dataset/src/brands.rs crates/dataset/src/buckets.rs crates/dataset/src/config.rs crates/dataset/src/data.rs crates/dataset/src/export.rs crates/dataset/src/generator.rs crates/dataset/src/hierarchy.rs crates/dataset/src/query_model.rs crates/dataset/src/stats.rs crates/dataset/src/truth.rs
+
+/root/repo/target/debug/deps/libamoe_dataset-5911c5d8ac8ffa4d.rmeta: crates/dataset/src/lib.rs crates/dataset/src/batch.rs crates/dataset/src/brands.rs crates/dataset/src/buckets.rs crates/dataset/src/config.rs crates/dataset/src/data.rs crates/dataset/src/export.rs crates/dataset/src/generator.rs crates/dataset/src/hierarchy.rs crates/dataset/src/query_model.rs crates/dataset/src/stats.rs crates/dataset/src/truth.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/batch.rs:
+crates/dataset/src/brands.rs:
+crates/dataset/src/buckets.rs:
+crates/dataset/src/config.rs:
+crates/dataset/src/data.rs:
+crates/dataset/src/export.rs:
+crates/dataset/src/generator.rs:
+crates/dataset/src/hierarchy.rs:
+crates/dataset/src/query_model.rs:
+crates/dataset/src/stats.rs:
+crates/dataset/src/truth.rs:

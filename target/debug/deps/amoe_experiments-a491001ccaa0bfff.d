@@ -1,0 +1,21 @@
+/root/repo/target/debug/deps/amoe_experiments-a491001ccaa0bfff.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+/root/repo/target/debug/deps/libamoe_experiments-a491001ccaa0bfff.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+/root/repo/target/debug/deps/libamoe_experiments-a491001ccaa0bfff.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/case_study.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/suite.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+crates/experiments/src/table3.rs:
+crates/experiments/src/table5.rs:
+crates/experiments/src/table6.rs:
+crates/experiments/src/tablefmt.rs:

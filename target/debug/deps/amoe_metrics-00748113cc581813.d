@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/amoe_metrics-00748113cc581813.d: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+/root/repo/target/debug/deps/libamoe_metrics-00748113cc581813.rlib: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+/root/repo/target/debug/deps/libamoe_metrics-00748113cc581813.rmeta: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/auc.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/feature_importance.rs:
+crates/metrics/src/logloss.rs:
+crates/metrics/src/ndcg.rs:
+crates/metrics/src/silhouette.rs:

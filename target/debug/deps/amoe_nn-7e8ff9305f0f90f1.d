@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/amoe_nn-7e8ff9305f0f90f1.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+/root/repo/target/debug/deps/libamoe_nn-7e8ff9305f0f90f1.rlib: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+/root/repo/target/debug/deps/libamoe_nn-7e8ff9305f0f90f1.rmeta: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/serialize.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/amoe_tensor-d95918bcbc18424c.d: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+/root/repo/target/debug/deps/libamoe_tensor-d95918bcbc18424c.rlib: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+/root/repo/target/debug/deps/libamoe_tensor-d95918bcbc18424c.rmeta: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/topk.rs:

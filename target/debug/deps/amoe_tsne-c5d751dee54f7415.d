@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amoe_tsne-c5d751dee54f7415.d: crates/tsne/src/lib.rs
+
+/root/repo/target/debug/deps/libamoe_tsne-c5d751dee54f7415.rlib: crates/tsne/src/lib.rs
+
+/root/repo/target/debug/deps/libamoe_tsne-c5d751dee54f7415.rmeta: crates/tsne/src/lib.rs
+
+crates/tsne/src/lib.rs:

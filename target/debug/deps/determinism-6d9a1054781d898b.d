@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/determinism-6d9a1054781d898b.d: tests/determinism.rs
+
+/root/repo/target/debug/deps/determinism-6d9a1054781d898b: tests/determinism.rs
+
+tests/determinism.rs:

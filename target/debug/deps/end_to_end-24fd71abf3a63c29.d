@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-24fd71abf3a63c29.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-24fd71abf3a63c29: tests/end_to_end.rs
+
+tests/end_to_end.rs:

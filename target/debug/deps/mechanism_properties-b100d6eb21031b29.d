@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/mechanism_properties-b100d6eb21031b29.d: tests/mechanism_properties.rs
+
+/root/repo/target/debug/deps/mechanism_properties-b100d6eb21031b29: tests/mechanism_properties.rs
+
+tests/mechanism_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serving_parity-d418162da360e142.d: tests/serving_parity.rs
+
+/root/repo/target/debug/deps/serving_parity-d418162da360e142: tests/serving_parity.rs
+
+tests/serving_parity.rs:

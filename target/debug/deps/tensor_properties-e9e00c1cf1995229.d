@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tensor_properties-e9e00c1cf1995229.d: tests/tensor_properties.rs
+
+/root/repo/target/debug/deps/tensor_properties-e9e00c1cf1995229: tests/tensor_properties.rs
+
+tests/tensor_properties.rs:

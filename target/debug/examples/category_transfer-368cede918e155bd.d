@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/category_transfer-368cede918e155bd.d: examples/category_transfer.rs
+
+/root/repo/target/debug/examples/category_transfer-368cede918e155bd: examples/category_transfer.rs
+
+examples/category_transfer.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/expert_anatomy-bf9485d959a8ee86.d: examples/expert_anatomy.rs
+
+/root/repo/target/debug/examples/expert_anatomy-bf9485d959a8ee86: examples/expert_anatomy.rs
+
+examples/expert_anatomy.rs:

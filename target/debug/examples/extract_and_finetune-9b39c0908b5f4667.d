@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/extract_and_finetune-9b39c0908b5f4667.d: examples/extract_and_finetune.rs
+
+/root/repo/target/debug/examples/extract_and_finetune-9b39c0908b5f4667: examples/extract_and_finetune.rs
+
+examples/extract_and_finetune.rs:

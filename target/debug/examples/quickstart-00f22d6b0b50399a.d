@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-00f22d6b0b50399a.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-00f22d6b0b50399a: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/serving-20eb00702ca15862.d: examples/serving.rs
+
+/root/repo/target/debug/examples/serving-20eb00702ca15862: examples/serving.rs
+
+examples/serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-1bffb53a12ae5cbd.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-1bffb53a12ae5cbd: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

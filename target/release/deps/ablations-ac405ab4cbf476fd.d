@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-ac405ab4cbf476fd.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-ac405ab4cbf476fd: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

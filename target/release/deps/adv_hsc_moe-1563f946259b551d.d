@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adv_hsc_moe-1563f946259b551d.d: src/lib.rs
+
+/root/repo/target/release/deps/adv_hsc_moe-1563f946259b551d: src/lib.rs
+
+src/lib.rs:

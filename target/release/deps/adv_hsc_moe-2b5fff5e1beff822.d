@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adv_hsc_moe-2b5fff5e1beff822.d: src/lib.rs
+
+/root/repo/target/release/deps/libadv_hsc_moe-2b5fff5e1beff822.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadv_hsc_moe-2b5fff5e1beff822.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/amoe_autograd-06f3ef27468d9806.d: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+/root/repo/target/release/deps/amoe_autograd-06f3ef27468d9806: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/tape.rs:
+crates/autograd/src/var.rs:

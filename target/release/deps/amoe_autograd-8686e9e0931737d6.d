@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/amoe_autograd-8686e9e0931737d6.d: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+/root/repo/target/release/deps/libamoe_autograd-8686e9e0931737d6.rlib: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+/root/repo/target/release/deps/libamoe_autograd-8686e9e0931737d6.rmeta: crates/autograd/src/lib.rs crates/autograd/src/gradcheck.rs crates/autograd/src/tape.rs crates/autograd/src/var.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/gradcheck.rs:
+crates/autograd/src/tape.rs:
+crates/autograd/src/var.rs:

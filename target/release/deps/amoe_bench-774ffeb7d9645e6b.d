@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/amoe_bench-774ffeb7d9645e6b.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libamoe_bench-774ffeb7d9645e6b.rlib: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/libamoe_bench-774ffeb7d9645e6b.rmeta: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

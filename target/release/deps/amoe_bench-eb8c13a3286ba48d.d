@@ -1,0 +1,6 @@
+/root/repo/target/release/deps/amoe_bench-eb8c13a3286ba48d.d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+/root/repo/target/release/deps/amoe_bench-eb8c13a3286ba48d: crates/bench/src/lib.rs crates/bench/src/timing.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/timing.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/amoe_core-292a5effd9a5c381.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/amoe_core-292a5effd9a5c381: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/config.rs:
+crates/core/src/extraction.rs:
+crates/core/src/features.rs:
+crates/core/src/finetune.rs:
+crates/core/src/gating.rs:
+crates/core/src/losses.rs:
+crates/core/src/models.rs:
+crates/core/src/ranker.rs:
+crates/core/src/serving.rs:
+crates/core/src/trainer.rs:

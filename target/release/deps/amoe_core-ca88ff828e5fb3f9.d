@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/amoe_core-ca88ff828e5fb3f9.d: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libamoe_core-ca88ff828e5fb3f9.rlib: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+/root/repo/target/release/deps/libamoe_core-ca88ff828e5fb3f9.rmeta: crates/core/src/lib.rs crates/core/src/analysis.rs crates/core/src/config.rs crates/core/src/extraction.rs crates/core/src/features.rs crates/core/src/finetune.rs crates/core/src/gating.rs crates/core/src/losses.rs crates/core/src/models.rs crates/core/src/ranker.rs crates/core/src/serving.rs crates/core/src/trainer.rs
+
+crates/core/src/lib.rs:
+crates/core/src/analysis.rs:
+crates/core/src/config.rs:
+crates/core/src/extraction.rs:
+crates/core/src/features.rs:
+crates/core/src/finetune.rs:
+crates/core/src/gating.rs:
+crates/core/src/losses.rs:
+crates/core/src/models.rs:
+crates/core/src/ranker.rs:
+crates/core/src/serving.rs:
+crates/core/src/trainer.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/release/deps/amoe_dataset-4ddad95460a73801.d: crates/dataset/src/lib.rs crates/dataset/src/batch.rs crates/dataset/src/brands.rs crates/dataset/src/buckets.rs crates/dataset/src/config.rs crates/dataset/src/data.rs crates/dataset/src/export.rs crates/dataset/src/generator.rs crates/dataset/src/hierarchy.rs crates/dataset/src/query_model.rs crates/dataset/src/stats.rs crates/dataset/src/truth.rs
+
+/root/repo/target/release/deps/libamoe_dataset-4ddad95460a73801.rlib: crates/dataset/src/lib.rs crates/dataset/src/batch.rs crates/dataset/src/brands.rs crates/dataset/src/buckets.rs crates/dataset/src/config.rs crates/dataset/src/data.rs crates/dataset/src/export.rs crates/dataset/src/generator.rs crates/dataset/src/hierarchy.rs crates/dataset/src/query_model.rs crates/dataset/src/stats.rs crates/dataset/src/truth.rs
+
+/root/repo/target/release/deps/libamoe_dataset-4ddad95460a73801.rmeta: crates/dataset/src/lib.rs crates/dataset/src/batch.rs crates/dataset/src/brands.rs crates/dataset/src/buckets.rs crates/dataset/src/config.rs crates/dataset/src/data.rs crates/dataset/src/export.rs crates/dataset/src/generator.rs crates/dataset/src/hierarchy.rs crates/dataset/src/query_model.rs crates/dataset/src/stats.rs crates/dataset/src/truth.rs
+
+crates/dataset/src/lib.rs:
+crates/dataset/src/batch.rs:
+crates/dataset/src/brands.rs:
+crates/dataset/src/buckets.rs:
+crates/dataset/src/config.rs:
+crates/dataset/src/data.rs:
+crates/dataset/src/export.rs:
+crates/dataset/src/generator.rs:
+crates/dataset/src/hierarchy.rs:
+crates/dataset/src/query_model.rs:
+crates/dataset/src/stats.rs:
+crates/dataset/src/truth.rs:

@@ -1,0 +1,21 @@
+/root/repo/target/release/deps/amoe_experiments-24f403f3473beab4.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+/root/repo/target/release/deps/libamoe_experiments-24f403f3473beab4.rlib: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+/root/repo/target/release/deps/libamoe_experiments-24f403f3473beab4.rmeta: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/case_study.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/suite.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+crates/experiments/src/table3.rs:
+crates/experiments/src/table5.rs:
+crates/experiments/src/table6.rs:
+crates/experiments/src/tablefmt.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/release/deps/amoe_experiments-672ab3c39d197cb6.d: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+/root/repo/target/release/deps/amoe_experiments-672ab3c39d197cb6: crates/experiments/src/lib.rs crates/experiments/src/ablations.rs crates/experiments/src/case_study.rs crates/experiments/src/fig2.rs crates/experiments/src/fig3.rs crates/experiments/src/fig5.rs crates/experiments/src/fig6.rs crates/experiments/src/fig7.rs crates/experiments/src/suite.rs crates/experiments/src/table1.rs crates/experiments/src/table2.rs crates/experiments/src/table3.rs crates/experiments/src/table5.rs crates/experiments/src/table6.rs crates/experiments/src/tablefmt.rs
+
+crates/experiments/src/lib.rs:
+crates/experiments/src/ablations.rs:
+crates/experiments/src/case_study.rs:
+crates/experiments/src/fig2.rs:
+crates/experiments/src/fig3.rs:
+crates/experiments/src/fig5.rs:
+crates/experiments/src/fig6.rs:
+crates/experiments/src/fig7.rs:
+crates/experiments/src/suite.rs:
+crates/experiments/src/table1.rs:
+crates/experiments/src/table2.rs:
+crates/experiments/src/table3.rs:
+crates/experiments/src/table5.rs:
+crates/experiments/src/table6.rs:
+crates/experiments/src/tablefmt.rs:

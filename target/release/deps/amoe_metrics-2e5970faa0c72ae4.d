@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/amoe_metrics-2e5970faa0c72ae4.d: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+/root/repo/target/release/deps/amoe_metrics-2e5970faa0c72ae4: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/auc.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/feature_importance.rs:
+crates/metrics/src/logloss.rs:
+crates/metrics/src/ndcg.rs:
+crates/metrics/src/silhouette.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/amoe_metrics-fd203ebc3164b2e8.d: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+/root/repo/target/release/deps/libamoe_metrics-fd203ebc3164b2e8.rlib: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+/root/repo/target/release/deps/libamoe_metrics-fd203ebc3164b2e8.rmeta: crates/metrics/src/lib.rs crates/metrics/src/auc.rs crates/metrics/src/calibration.rs crates/metrics/src/concentration.rs crates/metrics/src/feature_importance.rs crates/metrics/src/logloss.rs crates/metrics/src/ndcg.rs crates/metrics/src/silhouette.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/auc.rs:
+crates/metrics/src/calibration.rs:
+crates/metrics/src/concentration.rs:
+crates/metrics/src/feature_importance.rs:
+crates/metrics/src/logloss.rs:
+crates/metrics/src/ndcg.rs:
+crates/metrics/src/silhouette.rs:

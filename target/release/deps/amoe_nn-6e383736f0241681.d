@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/amoe_nn-6e383736f0241681.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+/root/repo/target/release/deps/libamoe_nn-6e383736f0241681.rlib: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+/root/repo/target/release/deps/libamoe_nn-6e383736f0241681.rmeta: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/serialize.rs:

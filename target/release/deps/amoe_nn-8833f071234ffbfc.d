@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/amoe_nn-8833f071234ffbfc.d: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+/root/repo/target/release/deps/amoe_nn-8833f071234ffbfc: crates/nn/src/lib.rs crates/nn/src/init.rs crates/nn/src/layers.rs crates/nn/src/optim.rs crates/nn/src/params.rs crates/nn/src/schedule.rs crates/nn/src/serialize.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/init.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/params.rs:
+crates/nn/src/schedule.rs:
+crates/nn/src/serialize.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/amoe_tensor-cd0b018a0a1a4faa.d: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+/root/repo/target/release/deps/amoe_tensor-cd0b018a0a1a4faa: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/topk.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/amoe_tensor-d42ea4b92598f62a.d: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+/root/repo/target/release/deps/libamoe_tensor-d42ea4b92598f62a.rlib: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+/root/repo/target/release/deps/libamoe_tensor-d42ea4b92598f62a.rmeta: crates/tensor/src/lib.rs crates/tensor/src/check.rs crates/tensor/src/matmul.rs crates/tensor/src/matrix.rs crates/tensor/src/ops.rs crates/tensor/src/pool.rs crates/tensor/src/reduce.rs crates/tensor/src/rng.rs crates/tensor/src/topk.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/check.rs:
+crates/tensor/src/matmul.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/ops.rs:
+crates/tensor/src/pool.rs:
+crates/tensor/src/reduce.rs:
+crates/tensor/src/rng.rs:
+crates/tensor/src/topk.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amoe_tsne-cfd5d1503b9ee76d.d: crates/tsne/src/lib.rs
+
+/root/repo/target/release/deps/libamoe_tsne-cfd5d1503b9ee76d.rlib: crates/tsne/src/lib.rs
+
+/root/repo/target/release/deps/libamoe_tsne-cfd5d1503b9ee76d.rmeta: crates/tsne/src/lib.rs
+
+crates/tsne/src/lib.rs:

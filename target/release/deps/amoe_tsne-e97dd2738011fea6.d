@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amoe_tsne-e97dd2738011fea6.d: crates/tsne/src/lib.rs
+
+/root/repo/target/release/deps/amoe_tsne-e97dd2738011fea6: crates/tsne/src/lib.rs
+
+crates/tsne/src/lib.rs:

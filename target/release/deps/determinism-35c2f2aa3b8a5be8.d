@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/determinism-35c2f2aa3b8a5be8.d: tests/determinism.rs
+
+/root/repo/target/release/deps/determinism-35c2f2aa3b8a5be8: tests/determinism.rs
+
+tests/determinism.rs:

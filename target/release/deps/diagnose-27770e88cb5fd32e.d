@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diagnose-27770e88cb5fd32e.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/release/deps/diagnose-27770e88cb5fd32e: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

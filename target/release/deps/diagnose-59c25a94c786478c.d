@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/diagnose-59c25a94c786478c.d: crates/bench/src/bin/diagnose.rs
+
+/root/repo/target/release/deps/diagnose-59c25a94c786478c: crates/bench/src/bin/diagnose.rs
+
+crates/bench/src/bin/diagnose.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-396a05bf24a8e188.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-396a05bf24a8e188: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-03e64504ce6e0cbb.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-03e64504ce6e0cbb: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

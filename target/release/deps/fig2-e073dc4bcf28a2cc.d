@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-e073dc4bcf28a2cc.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-e073dc4bcf28a2cc: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-197aac04bd6a0c49.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-197aac04bd6a0c49: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig3-36224e8f71f30882.d: crates/bench/src/bin/fig3.rs
+
+/root/repo/target/release/deps/fig3-36224e8f71f30882: crates/bench/src/bin/fig3.rs
+
+crates/bench/src/bin/fig3.rs:

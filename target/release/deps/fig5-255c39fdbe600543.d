@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-255c39fdbe600543.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-255c39fdbe600543: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-36feffc858c2e4bc.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-36feffc858c2e4bc: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-182361ceded8f772.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-182361ceded8f772: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-f683505650b21371.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-f683505650b21371: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

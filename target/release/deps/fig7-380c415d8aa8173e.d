@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-380c415d8aa8173e.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-380c415d8aa8173e: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-9065101f99d9ad26.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-9065101f99d9ad26: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/full_loss_gradcheck-15e6cd800a3ec3a5.d: crates/core/tests/full_loss_gradcheck.rs
+
+/root/repo/target/release/deps/full_loss_gradcheck-15e6cd800a3ec3a5: crates/core/tests/full_loss_gradcheck.rs
+
+crates/core/tests/full_loss_gradcheck.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/kernels-bc6b10f2bce81bb5.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-bc6b10f2bce81bb5: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/mechanism_properties-1918cf16b2248206.d: tests/mechanism_properties.rs
+
+/root/repo/target/release/deps/mechanism_properties-1918cf16b2248206: tests/mechanism_properties.rs
+
+tests/mechanism_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ops_gradcheck-bb402bd85b5a0ab3.d: crates/autograd/tests/ops_gradcheck.rs
+
+/root/repo/target/release/deps/ops_gradcheck-bb402bd85b5a0ab3: crates/autograd/tests/ops_gradcheck.rs
+
+crates/autograd/tests/ops_gradcheck.rs:

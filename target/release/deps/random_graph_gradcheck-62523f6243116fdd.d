@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/random_graph_gradcheck-62523f6243116fdd.d: crates/autograd/tests/random_graph_gradcheck.rs
+
+/root/repo/target/release/deps/random_graph_gradcheck-62523f6243116fdd: crates/autograd/tests/random_graph_gradcheck.rs
+
+crates/autograd/tests/random_graph_gradcheck.rs:

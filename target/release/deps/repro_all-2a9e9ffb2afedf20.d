@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-2a9e9ffb2afedf20.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-2a9e9ffb2afedf20: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro_all-b8bd672d23260248.d: crates/bench/src/bin/repro_all.rs
+
+/root/repo/target/release/deps/repro_all-b8bd672d23260248: crates/bench/src/bin/repro_all.rs
+
+crates/bench/src/bin/repro_all.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving-cf1cf2f42cff30ff.d: crates/bench/benches/serving.rs
+
+/root/repo/target/release/deps/serving-cf1cf2f42cff30ff: crates/bench/benches/serving.rs
+
+crates/bench/benches/serving.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving_parity-ba5d671d8da2d890.d: tests/serving_parity.rs
+
+/root/repo/target/release/deps/serving_parity-ba5d671d8da2d890: tests/serving_parity.rs
+
+tests/serving_parity.rs:

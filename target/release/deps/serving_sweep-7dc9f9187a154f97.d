@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving_sweep-7dc9f9187a154f97.d: crates/bench/src/bin/serving_sweep.rs
+
+/root/repo/target/release/deps/serving_sweep-7dc9f9187a154f97: crates/bench/src/bin/serving_sweep.rs
+
+crates/bench/src/bin/serving_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serving_sweep-9c4dc6bde71104e1.d: crates/bench/src/bin/serving_sweep.rs
+
+/root/repo/target/release/deps/serving_sweep-9c4dc6bde71104e1: crates/bench/src/bin/serving_sweep.rs
+
+crates/bench/src/bin/serving_sweep.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-90dff73fbe2efb03.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-90dff73fbe2efb03: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

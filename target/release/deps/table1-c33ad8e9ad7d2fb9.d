@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-c33ad8e9ad7d2fb9.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-c33ad8e9ad7d2fb9: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-55a86e5963104127.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-55a86e5963104127: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-67f22633962c18b5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-67f22633962c18b5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

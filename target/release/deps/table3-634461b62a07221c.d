@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-634461b62a07221c.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-634461b62a07221c: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

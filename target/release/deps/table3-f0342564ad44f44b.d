@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-f0342564ad44f44b.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-f0342564ad44f44b: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-51ad0b4f66b751af.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-51ad0b4f66b751af: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-d213e4a3a1a4aa76.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-d213e4a3a1a4aa76: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

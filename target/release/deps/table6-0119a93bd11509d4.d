@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-0119a93bd11509d4.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-0119a93bd11509d4: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

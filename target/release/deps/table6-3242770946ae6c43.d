@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-3242770946ae6c43.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-3242770946ae6c43: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_fig8-aaf98deae7731d33.d: crates/bench/src/bin/table7_fig8.rs
+
+/root/repo/target/release/deps/table7_fig8-aaf98deae7731d33: crates/bench/src/bin/table7_fig8.rs
+
+crates/bench/src/bin/table7_fig8.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7_fig8-abc20c5ada9c4ce8.d: crates/bench/src/bin/table7_fig8.rs
+
+/root/repo/target/release/deps/table7_fig8-abc20c5ada9c4ce8: crates/bench/src/bin/table7_fig8.rs
+
+crates/bench/src/bin/table7_fig8.rs:

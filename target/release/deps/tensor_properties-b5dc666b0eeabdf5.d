@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tensor_properties-b5dc666b0eeabdf5.d: tests/tensor_properties.rs
+
+/root/repo/target/release/deps/tensor_properties-b5dc666b0eeabdf5: tests/tensor_properties.rs
+
+tests/tensor_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/training-e987b84a64df070e.d: crates/bench/benches/training.rs
+
+/root/repo/target/release/deps/training-e987b84a64df070e: crates/bench/benches/training.rs
+
+crates/bench/benches/training.rs:

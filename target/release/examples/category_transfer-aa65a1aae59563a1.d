@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/category_transfer-aa65a1aae59563a1.d: examples/category_transfer.rs
+
+/root/repo/target/release/examples/category_transfer-aa65a1aae59563a1: examples/category_transfer.rs
+
+examples/category_transfer.rs:

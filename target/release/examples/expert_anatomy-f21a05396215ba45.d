@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/expert_anatomy-f21a05396215ba45.d: examples/expert_anatomy.rs
+
+/root/repo/target/release/examples/expert_anatomy-f21a05396215ba45: examples/expert_anatomy.rs
+
+examples/expert_anatomy.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/extract_and_finetune-480a282f87e99f80.d: examples/extract_and_finetune.rs
+
+/root/repo/target/release/examples/extract_and_finetune-480a282f87e99f80: examples/extract_and_finetune.rs
+
+examples/extract_and_finetune.rs:

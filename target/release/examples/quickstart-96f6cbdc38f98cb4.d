@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-96f6cbdc38f98cb4.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-96f6cbdc38f98cb4: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/serving-7a66b17beb5aa239.d: examples/serving.rs
+
+/root/repo/target/release/examples/serving-7a66b17beb5aa239: examples/serving.rs
+
+examples/serving.rs:
