@@ -1,0 +1,143 @@
+//! Telemetry smoke gate: runs a tiny training job plus one sparse
+//! serving call with the JSONL sink on, then re-reads the emitted file
+//! and validates it — every line parses as JSON, the expected record
+//! types are present, and no number is non-finite (`null` stands in
+//! for non-finite floats by the schema, and must not appear in the
+//! records this run produces).
+//!
+//! Exit status is the contract: `0` means the telemetry pipeline is
+//! healthy end-to-end; any schema violation aborts with a message and
+//! status `1`. `scripts/ci.sh` runs this with `AMOE_OBS` pointing into
+//! `target/`.
+
+use std::path::Path;
+use std::process::exit;
+
+use amoe_core::ranker::OptimConfig;
+use amoe_core::serving::ServingMoe;
+use amoe_core::{MoeConfig, MoeModel, TrainConfig, Trainer};
+use amoe_dataset::{generate, Batch, GeneratorConfig};
+use amoe_obs::json::{parse, Value};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("obs_smoke: FAIL: {msg}");
+    exit(1);
+}
+
+/// Recursively asserts that every number in `v` is finite. The JSON
+/// writer maps non-finite floats to `null`, so also reject `null`:
+/// a well-formed record never needs it.
+fn assert_finite(v: &Value, context: &str) {
+    match v {
+        Value::Null => fail(&format!(
+            "{context}: null value (non-finite number emitted?)"
+        )),
+        Value::Num(n) if !n.is_finite() => fail(&format!("{context}: non-finite number")),
+        Value::Arr(items) => items.iter().for_each(|i| assert_finite(i, context)),
+        Value::Obj(map) => map.values().for_each(|i| assert_finite(i, context)),
+        _ => {}
+    }
+}
+
+fn require_fields(record: &Value, kind: &str, fields: &[&str]) {
+    for f in fields {
+        if record.get(f).is_none() {
+            fail(&format!("{kind} record is missing field '{f}'"));
+        }
+    }
+}
+
+fn main() {
+    // Honour AMOE_OBS when the caller (CI) set it; fall back to a file
+    // under the target dir. Start from a clean file either way so the
+    // validation below sees exactly this run.
+    let path = std::env::var("AMOE_OBS").unwrap_or_else(|_| "target/obs_smoke.jsonl".to_string());
+    let _ = std::fs::remove_file(&path);
+    amoe_obs::sink::set_sink_path(Some(Path::new(&path)));
+
+    // Tiny Adv & HSC-MoE run: exercises every loss component, the gate
+    // telemetry, the pool spans and the sparse serving path.
+    let d = generate(&GeneratorConfig::tiny(77));
+    let cfg = MoeConfig {
+        n_experts: 6,
+        top_k: 2,
+        adversarial: true,
+        hsc: true,
+        ..MoeConfig::default()
+    };
+    let mut model = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+    let trainer = Trainer::new(TrainConfig {
+        epochs: 1,
+        batch_size: 128,
+        ..TrainConfig::default()
+    });
+    trainer.fit(&mut model, &d.train);
+    let batch = Batch::from_split(&d.test, &(0..64.min(d.test.len())).collect::<Vec<_>>());
+    let (_logits, stats) = ServingMoe::new(&model).predict_logits_with_stats(&batch);
+    if !stats.examples_per_sec().is_finite() {
+        fail("Stats::examples_per_sec returned a non-finite value");
+    }
+    amoe_obs::emit_metrics_snapshot();
+    amoe_obs::sink::set_sink_path(None); // flush + close
+
+    // Validate the run log.
+    let body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let mut kinds: Vec<String> = Vec::new();
+    for (lineno, line) in body.lines().enumerate() {
+        let record = parse(line)
+            .unwrap_or_else(|e| fail(&format!("line {}: invalid JSON: {e}", lineno + 1)));
+        let kind = record
+            .get("event")
+            .and_then(Value::as_str)
+            .unwrap_or_else(|| fail(&format!("line {}: missing 'event'", lineno + 1)))
+            .to_string();
+        if record.get("ts").and_then(Value::as_f64).is_none() {
+            fail(&format!("line {}: missing 'ts'", lineno + 1));
+        }
+        assert_finite(&record, &format!("line {} ({kind})", lineno + 1));
+        match kind.as_str() {
+            "train_epoch" => require_fields(
+                &record,
+                "train_epoch",
+                &[
+                    "model",
+                    "epoch",
+                    "loss",
+                    "ce",
+                    "hsc",
+                    "adv",
+                    "load_balance",
+                    "gate_entropy",
+                    "dispatch",
+                ],
+            ),
+            "serving_predict" => require_fields(
+                &record,
+                "serving_predict",
+                &[
+                    "examples",
+                    "threads",
+                    "gate_ns",
+                    "expert_ns",
+                    "scatter_ns",
+                    "examples_per_sec",
+                    "dispatch",
+                ],
+            ),
+            _ => {}
+        }
+        kinds.push(kind);
+    }
+    for expected in ["train_epoch", "serving_predict", "metrics_snapshot"] {
+        if !kinds.iter().any(|k| k == expected) {
+            fail(&format!("no {expected} record in {path}"));
+        }
+    }
+    println!(
+        "obs_smoke: OK — {} records ({} train_epoch, {} serving_predict) validated in {path}",
+        kinds.len(),
+        kinds.iter().filter(|k| *k == "train_epoch").count(),
+        kinds.iter().filter(|k| *k == "serving_predict").count(),
+    );
+}

@@ -12,6 +12,12 @@
 //!
 //! `--smoke` shrinks the measurement for CI. The sweep always verifies
 //! that logits are bit-identical across thread counts before timing.
+//!
+//! With `AMOE_OBS=sweep.jsonl` set, every printed row is also emitted
+//! as a `serving_sweep_row` JSONL record and the run ends with a
+//! `metrics_snapshot` (per-phase span histograms, pool counters), so
+//! two sweeps can be diffed record-by-record — the baseline workflow
+//! for perf PRs (see README "Observability").
 
 use std::hint::black_box;
 use std::time::Instant;
@@ -84,7 +90,20 @@ fn main() {
                 "{n:>4} {t:>8} {ms:>14.3} {throughput:>14.0} {:>9.2}x",
                 baseline_ms / ms
             );
+            amoe_obs::emit(
+                &amoe_obs::Event::new("serving_sweep_row")
+                    .u64("n_experts", n as u64)
+                    .u64("threads", t as u64)
+                    .u64("batch", batch_len as u64)
+                    .u64("reps", reps as u64)
+                    .f64("ms_per_batch", ms)
+                    .f64("examples_per_sec", throughput)
+                    .f64("speedup", baseline_ms / ms),
+            );
         }
         pool::clear_threads_override();
     }
+    // Per-phase span histograms (serving.gate/experts/scatter,
+    // pool.region, pool.spawn_ns) land next to the sweep rows.
+    amoe_obs::emit_metrics_snapshot();
 }

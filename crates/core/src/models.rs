@@ -10,7 +10,7 @@ use crate::config::MoeConfig;
 use crate::features::FeatureEncoder;
 use crate::gating::{GateOutput, NoisyTopKGate};
 use crate::losses::{adversarial_loss, hsc_loss, load_balance_loss, sample_adversarial_mask};
-use crate::ranker::{OptimConfig, Ranker, StepStats};
+use crate::ranker::{GateTelemetry, OptimConfig, Ranker, StepStats};
 
 /// Builds one expert tower's layer dims from the config.
 fn tower_dims(input_dim: usize, hidden: &[usize]) -> Vec<usize> {
@@ -40,6 +40,9 @@ pub struct MoeModel {
     optimizer: Adam,
     clip_norm: f32,
     rng: Rng,
+    /// Gate-routing telemetry accumulated while `amoe_obs` is enabled;
+    /// drained per epoch through [`Ranker::take_gate_telemetry`].
+    gate_telemetry: GateTelemetry,
 }
 
 /// Everything a forward pass produces that losses and analyses consume.
@@ -107,6 +110,7 @@ impl MoeModel {
             optimizer: Adam::adamw(optim.lr, optim.weight_decay),
             clip_norm: optim.clip_norm,
             rng: noise_rng,
+            gate_telemetry: GateTelemetry::default(),
         }
     }
 
@@ -264,6 +268,13 @@ impl Ranker for MoeModel {
     fn num_parameters(&self) -> usize {
         self.params.num_scalars()
     }
+
+    fn take_gate_telemetry(&mut self) -> Option<GateTelemetry> {
+        if self.gate_telemetry.steps == 0 {
+            return None;
+        }
+        Some(std::mem::take(&mut self.gate_telemetry))
+    }
 }
 
 impl MoeModel {
@@ -315,6 +326,11 @@ impl MoeModel {
         }
         stats.loss = loss.value()[(0, 0)];
 
+        // Materialise the gate probabilities while the tape is alive;
+        // the accumulator needs `&mut self`, which must wait for the
+        // parameter binding to drop.
+        let gate_probs = amoe_obs::enabled().then(|| fwd.gate.probs.value());
+
         let grads = tape.backward(loss);
         self.params.zero_grads();
         self.params.collect_grads(&bound, &grads);
@@ -322,7 +338,34 @@ impl MoeModel {
         if self.clip_norm > 0.0 {
             self.params.clip_grad_global_norm(self.clip_norm);
         }
+        if let Some(probs) = gate_probs {
+            self.record_gate_telemetry(&probs);
+        }
         stats
+    }
+
+    /// Accumulates routing telemetry from one step's `B x N` top-K
+    /// masked gate probabilities: per-expert dispatch counts (positive
+    /// entries) and the batch-mean entropy of the masked distribution.
+    fn record_gate_telemetry(&mut self, probs: &Matrix) {
+        let (b, n) = probs.shape();
+        let t = &mut self.gate_telemetry;
+        if t.dispatch.len() != n {
+            t.dispatch = vec![0; n];
+        }
+        let mut entropy_total = 0f64;
+        for r in 0..b {
+            let mut h = 0f64;
+            for (e, &p) in probs.row(r).iter().enumerate() {
+                if p > 0.0 {
+                    t.dispatch[e] += 1;
+                    h -= f64::from(p) * f64::from(p).ln();
+                }
+            }
+            entropy_total += h;
+        }
+        t.entropy_sum += entropy_total / b.max(1) as f64;
+        t.steps += 1;
     }
 }
 

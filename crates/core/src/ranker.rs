@@ -39,6 +39,36 @@ pub struct StepStats {
     pub load_balance: f32,
 }
 
+/// Gate-behaviour telemetry accumulated across training steps — the
+/// quantities the paper's Fig. 5–7 analyses (gate concentration under
+/// HSC, expert diversification under AdvLoss) are read from.
+///
+/// Gated models accumulate one entry per [`Ranker::train_step`] while
+/// [`amoe_obs`] telemetry is enabled; [`Ranker::take_gate_telemetry`]
+/// drains the accumulator (typically once per epoch, by the trainer).
+#[derive(Clone, Debug, Default)]
+pub struct GateTelemetry {
+    /// Training steps that contributed.
+    pub steps: usize,
+    /// Sum over steps of the batch-mean entropy (nats) of the top-K
+    /// masked gate distribution. Low entropy = concentrated routing.
+    pub entropy_sum: f64,
+    /// Examples routed to each expert (length `N`), summed over steps.
+    pub dispatch: Vec<u64>,
+}
+
+impl GateTelemetry {
+    /// Mean per-step gate entropy in nats (`0.0` when no steps).
+    #[must_use]
+    pub fn mean_entropy(&self) -> f64 {
+        if self.steps == 0 {
+            0.0
+        } else {
+            self.entropy_sum / self.steps as f64
+        }
+    }
+}
+
 /// A trainable ranking model scoring (query, product) candidates.
 ///
 /// `Sync` is a supertrait so evaluation can shard batches across the
@@ -58,4 +88,11 @@ pub trait Ranker: Sync {
 
     /// Total scalar parameter count (model capacity, Sec. 5.2).
     fn num_parameters(&self) -> usize;
+
+    /// Drains gate telemetry accumulated since the last call. `None`
+    /// for gateless models (DNN) and for gated models when telemetry
+    /// was off for every step since the last drain.
+    fn take_gate_telemetry(&mut self) -> Option<GateTelemetry> {
+        None
+    }
 }

@@ -16,8 +16,16 @@
 //! The `serving_sweep` bench demonstrates the constant-cost property by
 //! sweeping `N` at fixed `K`, and the parallel speedup by sweeping the
 //! thread count.
+//!
+//! # Telemetry
+//!
+//! The three phases (gate, expert dispatch, scatter) run under
+//! [`amoe_obs::timed`] spans, so per-phase wall times always reach the
+//! returned [`Stats`] and additionally feed the `serving.gate` /
+//! `serving.experts` / `serving.scatter` histograms plus one
+//! `serving_predict` JSONL event per call whenever `AMOE_OBS` is set.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
 use amoe_dataset::Batch;
 use amoe_tensor::{ops, pool, topk, Matrix};
@@ -49,13 +57,19 @@ impl Stats {
     }
 
     /// End-to-end throughput in examples per second.
+    ///
+    /// Contract: the result is always **finite and non-negative**, so
+    /// it can flow into JSONL records (whose schema forbids non-finite
+    /// numbers). When the instrumented phases are below clock
+    /// resolution the rate is unmeasurable and reads `0.0` — callers
+    /// should treat zero as "too fast to measure", not as stalled.
     #[must_use]
     pub fn examples_per_sec(&self) -> f64 {
         let secs = self.total_time().as_secs_f64();
         if secs > 0.0 {
             self.examples as f64 / secs
         } else {
-            f64::INFINITY
+            0.0
         }
     }
 
@@ -63,6 +77,28 @@ impl Stats {
     #[must_use]
     pub fn active_experts(&self) -> usize {
         self.dispatch.iter().filter(|&&n| n > 0).count()
+    }
+
+    /// The `serving_predict` telemetry record for this call (phase
+    /// nanoseconds, throughput, per-expert dispatch histogram).
+    #[must_use]
+    pub fn to_event(&self) -> amoe_obs::Event {
+        amoe_obs::Event::new("serving_predict")
+            .u64("examples", self.examples as u64)
+            .u64("threads", self.threads as u64)
+            .u64("gate_ns", self.gate_time.as_nanos() as u64)
+            .u64("expert_ns", self.expert_time.as_nanos() as u64)
+            .u64("scatter_ns", self.scatter_time.as_nanos() as u64)
+            .u64("total_ns", self.total_time().as_nanos() as u64)
+            .f64("examples_per_sec", self.examples_per_sec())
+            .u64("active_experts", self.active_experts() as u64)
+            .u64_array("dispatch", self.dispatch.iter().map(|&d| d as u64))
+    }
+
+    /// Emits [`Stats::to_event`] to the JSONL sink (no-op when
+    /// telemetry is off).
+    pub fn emit_event(&self) {
+        amoe_obs::emit(&self.to_event());
     }
 }
 
@@ -115,67 +151,77 @@ impl<'m> ServingMoe<'m> {
         };
 
         // Dense input once; gating from the SC embedding.
-        let gate_start = Instant::now();
-        let x = model.encoder_input_infer(batch);
-        let gate_in = model.gate_input_infer(batch);
-        let logits = model.gate_logits_infer(&gate_in);
+        let ((x, weights, selected), gate_time) = amoe_obs::timed("serving.gate", || {
+            let x = model.encoder_input_infer(batch);
+            let gate_in = model.gate_input_infer(batch);
+            let logits = model.gate_logits_infer(&gate_in);
 
-        // Per-example top-K selection + masked softmax weights.
-        let mut weights = vec![vec![0f32; 0]; b];
-        let mut selected = vec![vec![0usize; 0]; b];
-        for r in 0..b {
-            let idx = topk::top_k_indices(logits.row(r), cfg.top_k);
-            // Softmax over the selected logits only (Eq. 6–7).
-            let max = logits[(r, idx[0])];
-            let mut exps: Vec<f32> = idx.iter().map(|&c| (logits[(r, c)] - max).exp()).collect();
-            let sum: f32 = exps.iter().sum();
-            exps.iter_mut().for_each(|e| *e /= sum);
-            weights[r] = exps;
-            selected[r] = idx;
-        }
-        stats.gate_time = gate_start.elapsed();
+            // Per-example top-K selection + masked softmax weights.
+            let mut weights = vec![vec![0f32; 0]; b];
+            let mut selected = vec![vec![0usize; 0]; b];
+            for r in 0..b {
+                let idx = topk::top_k_indices(logits.row(r), cfg.top_k);
+                // Softmax over the selected logits only (Eq. 6–7).
+                let max = logits[(r, idx[0])];
+                let mut exps: Vec<f32> =
+                    idx.iter().map(|&c| (logits[(r, c)] - max).exp()).collect();
+                let sum: f32 = exps.iter().sum();
+                exps.iter_mut().for_each(|e| *e /= sum);
+                weights[r] = exps;
+                selected[r] = idx;
+            }
+            (x, weights, selected)
+        });
+        stats.gate_time = gate_time;
 
         // Expert-major batching. Routing tables are built serially (cheap,
         // and their order defines the deterministic scatter below); the
         // per-expert gather + batched MLP forward — the dominant cost —
         // fans out across the pool, one independent task per expert.
-        let expert_start = Instant::now();
         let mut routed_rows: Vec<Vec<usize>> = vec![Vec::new(); n_experts];
         let mut routed_coeffs: Vec<Vec<f32>> = vec![Vec::new(); n_experts];
-        for r in 0..b {
-            for (pos, &e_idx) in selected[r].iter().enumerate() {
-                routed_rows[e_idx].push(r);
-                routed_coeffs[e_idx].push(weights[r][pos]);
+        let (expert_outputs, expert_time) = amoe_obs::timed("serving.experts", || {
+            for r in 0..b {
+                for (pos, &e_idx) in selected[r].iter().enumerate() {
+                    routed_rows[e_idx].push(r);
+                    routed_coeffs[e_idx].push(weights[r][pos]);
+                }
             }
-        }
+            let outputs: Vec<Option<Matrix>> = pool::map_tasks(n_experts, |e_idx| {
+                let rows = &routed_rows[e_idx];
+                if rows.is_empty() {
+                    return None;
+                }
+                let xe = x.gather_rows(rows);
+                Some(model.experts()[e_idx].infer(params, &xe))
+            });
+            outputs
+        });
+        stats.expert_time = expert_time;
         for (e_idx, rows) in routed_rows.iter().enumerate() {
             stats.dispatch[e_idx] = rows.len();
         }
-        let expert_outputs: Vec<Option<Matrix>> = pool::map_tasks(n_experts, |e_idx| {
-            let rows = &routed_rows[e_idx];
-            if rows.is_empty() {
-                return None;
-            }
-            let xe = x.gather_rows(rows);
-            Some(model.experts()[e_idx].infer(params, &xe))
-        });
-        stats.expert_time = expert_start.elapsed();
 
         // Serial scatter in expert order: every thread count accumulates
         // each `out[r]` in the same order, so logits are bit-identical.
-        let scatter_start = Instant::now();
-        let mut out = vec![0f32; b];
-        for (e_idx, ye) in expert_outputs.iter().enumerate() {
-            let Some(ye) = ye else { continue };
-            for ((&r, &w), row) in routed_rows[e_idx]
-                .iter()
-                .zip(&routed_coeffs[e_idx])
-                .zip(0..ye.rows())
-            {
-                out[r] += w * ye[(row, 0)];
+        let (out, scatter_time) = amoe_obs::timed("serving.scatter", || {
+            let mut out = vec![0f32; b];
+            for (e_idx, ye) in expert_outputs.iter().enumerate() {
+                let Some(ye) = ye else { continue };
+                for ((&r, &w), row) in routed_rows[e_idx]
+                    .iter()
+                    .zip(&routed_coeffs[e_idx])
+                    .zip(0..ye.rows())
+                {
+                    out[r] += w * ye[(row, 0)];
+                }
             }
+            out
+        });
+        stats.scatter_time = scatter_time;
+        if amoe_obs::enabled() {
+            stats.emit_event();
         }
-        stats.scatter_time = scatter_start.elapsed();
         (out, stats)
     }
 }

@@ -1,4 +1,13 @@
 //! Epoch-based training and session-level evaluation.
+//!
+//! # Telemetry
+//!
+//! Each epoch produces one structured `train_epoch` event carrying the
+//! loss decomposition (CE / HSC / AdvLoss / load-balance), and — for
+//! gated models while `AMOE_OBS` is set — the mean gate entropy and
+//! per-expert dispatch counts. The same event backs both outputs: the
+//! JSONL sink (machine-readable, see `amoe_obs`) and the `verbose`
+//! stderr line (human-readable), so the two can never drift apart.
 
 use amoe_dataset::{Batch, Batcher, Split};
 use amoe_metrics::{log_loss, roc_auc, session_auc, session_ndcg, SessionEval};
@@ -74,41 +83,64 @@ impl Trainer {
         let mut batcher = Batcher::new(train, self.config.batch_size, self.config.seed);
         let mut last = StepStats::default();
         for epoch in 0..self.config.epochs {
-            let mut sum = StepStats::default();
-            let mut steps = 0usize;
-            // next_batch returns None exactly once per epoch boundary.
-            while let Some(idx) = batcher.next_batch() {
-                let batch = Batch::from_split(train, idx);
-                let s = model.train_step(&batch);
-                sum.loss += s.loss;
-                sum.ce += s.ce;
-                sum.hsc += s.hsc;
-                sum.adv += s.adv;
-                sum.load_balance += s.load_balance;
-                steps += 1;
-            }
-            let inv = 1.0 / steps.max(1) as f32;
-            last = StepStats {
-                loss: sum.loss * inv,
-                ce: sum.ce * inv,
-                hsc: sum.hsc * inv,
-                adv: sum.adv * inv,
-                load_balance: sum.load_balance * inv,
-            };
-            if self.config.verbose {
-                eprintln!(
-                    "[{}] epoch {}/{}: loss {:.4} ce {:.4} hsc {:.5} adv {:.5}",
-                    model.name(),
-                    epoch + 1,
-                    self.config.epochs,
-                    last.loss,
-                    last.ce,
-                    last.hsc,
-                    last.adv
-                );
+            let ((), epoch_time) = amoe_obs::timed("trainer.epoch", || {
+                let mut sum = StepStats::default();
+                let mut steps = 0usize;
+                // next_batch returns None exactly once per epoch boundary.
+                while let Some(idx) = batcher.next_batch() {
+                    let batch = Batch::from_split(train, idx);
+                    let s = model.train_step(&batch);
+                    sum.loss += s.loss;
+                    sum.ce += s.ce;
+                    sum.hsc += s.hsc;
+                    sum.adv += s.adv;
+                    sum.load_balance += s.load_balance;
+                    steps += 1;
+                }
+                let inv = 1.0 / steps.max(1) as f32;
+                last = StepStats {
+                    loss: sum.loss * inv,
+                    ce: sum.ce * inv,
+                    hsc: sum.hsc * inv,
+                    adv: sum.adv * inv,
+                    load_balance: sum.load_balance * inv,
+                };
+            });
+            if self.config.verbose || amoe_obs::enabled() {
+                self.report_epoch(model, epoch, &last, epoch_time);
             }
         }
         last
+    }
+
+    /// Builds the `train_epoch` event for one finished epoch and routes
+    /// it to the JSONL sink and/or the verbose stderr line.
+    fn report_epoch(
+        &self,
+        model: &mut dyn Ranker,
+        epoch: usize,
+        stats: &StepStats,
+        epoch_time: std::time::Duration,
+    ) {
+        let mut event = amoe_obs::Event::new("train_epoch")
+            .str("model", model.name())
+            .u64("epoch", epoch as u64 + 1)
+            .u64("epochs", self.config.epochs as u64)
+            .f64("epoch_secs", epoch_time.as_secs_f64())
+            .f64("loss", f64::from(stats.loss))
+            .f64("ce", f64::from(stats.ce))
+            .f64("hsc", f64::from(stats.hsc))
+            .f64("adv", f64::from(stats.adv))
+            .f64("load_balance", f64::from(stats.load_balance));
+        if let Some(gate) = model.take_gate_telemetry() {
+            event = event
+                .f64("gate_entropy", gate.mean_entropy())
+                .u64_array("dispatch", gate.dispatch.iter().copied());
+        }
+        amoe_obs::emit(&event);
+        if self.config.verbose {
+            eprintln!("{}", event.to_human());
+        }
     }
 
     /// Scores every example of `split` in evaluation batches.
@@ -119,6 +151,7 @@ impl Trainer {
     /// identical to the serial sweep for every `AMOE_THREADS` value.
     #[must_use]
     pub fn score_split(&self, model: &dyn Ranker, split: &Split) -> Vec<f32> {
+        let _span = amoe_obs::Span::enter("trainer.score_split");
         let bs = self.config.eval_batch_size.max(1);
         let n_batches = split.len().div_ceil(bs);
         let per_batch = pool::map_tasks(n_batches, |bi| {

@@ -29,6 +29,7 @@ pub struct Ablations {
 /// Runs the ablation suite.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Ablations {
+    crate::manifest::emit("ablations", config);
     let dataset = config.dataset();
     let trainer = Trainer::new(config.train_config());
     let seeds = config.seeds();

@@ -129,6 +129,7 @@ pub fn evaluate(zoo: &TrainedZoo) -> CaseStudy {
 /// Trains the zoo and runs the case study.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> CaseStudy {
+    crate::manifest::emit("case_study", config);
     let zoo = TrainedZoo::train(config);
     evaluate(&zoo)
 }

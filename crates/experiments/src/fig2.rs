@@ -43,6 +43,7 @@ fn variance(xs: &[f64]) -> f64 {
 /// Computes the figure's data.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Fig2 {
+    crate::manifest::emit("fig2", config);
     let dataset = config.dataset();
     let tcs: Vec<usize> = CATEGORIES
         .iter()

@@ -33,6 +33,7 @@ fn variance(xs: &[f64]) -> f64 {
 /// Computes the figure's data (80% sales-coverage threshold).
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Fig3 {
+    crate::manifest::emit("fig3", config);
     let dataset = config.dataset();
     let share = 0.8;
 

@@ -92,6 +92,7 @@ pub fn evaluate(config: &SuiteConfig, zoo: &TrainedZoo) -> Fig5 {
 /// Trains the zoo and evaluates per bucket.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Fig5 {
+    crate::manifest::emit("fig5", config);
     let zoo = TrainedZoo::train(config);
     evaluate(config, &zoo)
 }

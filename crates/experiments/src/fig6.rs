@@ -134,6 +134,7 @@ pub fn evaluate(config: &SuiteConfig, zoo: &TrainedZoo) -> Fig6 {
 /// Trains the zoo and computes the figure.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Fig6 {
+    crate::manifest::emit("fig6", config);
     let zoo = TrainedZoo::train(config);
     evaluate(config, &zoo)
 }

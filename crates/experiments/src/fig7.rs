@@ -35,6 +35,7 @@ pub const DS: [usize; 2] = [1, 2];
 /// Runs the 12-configuration sweep.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Fig7 {
+    crate::manifest::emit("fig7", config);
     let dataset = config.dataset();
     let trainer = Trainer::new(config.train_config());
     let seeds = config.seeds();

@@ -30,6 +30,7 @@ pub mod fig3;
 pub mod fig5;
 pub mod fig6;
 pub mod fig7;
+pub mod manifest;
 pub mod suite;
 pub mod table1;
 pub mod table2;

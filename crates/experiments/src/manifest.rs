@@ -1,0 +1,48 @@
+//! Run manifests: one `run_manifest` JSONL record at the start of each
+//! table/figure experiment.
+//!
+//! A manifest pins down everything needed to reproduce (or diff) a
+//! run: the experiment name, the dataset/model seeds, the scale and
+//! the MoE hyper-parameters. With `AMOE_OBS=run.jsonl` set, a full
+//! `repro_all` pass yields a self-describing log where every
+//! `train_epoch` / `serving_predict` record appears between the
+//! manifest of the experiment that produced it and the next manifest.
+
+use crate::suite::SuiteConfig;
+
+/// Emits the `run_manifest` record for `experiment` (no-op unless
+/// `AMOE_OBS` telemetry is enabled) and the experiment's wall-clock
+/// span start. Call first thing inside each experiment's `run`.
+pub fn emit(experiment: &'static str, config: &SuiteConfig) {
+    if !amoe_obs::enabled() {
+        return;
+    }
+    amoe_obs::counter_add("experiments.runs", 1);
+    amoe_obs::emit(
+        &amoe_obs::Event::new("run_manifest")
+            .str("experiment", experiment)
+            .u64("data_seed", config.data_seed)
+            .u64("model_seed", config.model_seed)
+            .f64("scale", config.scale)
+            .u64("epochs", config.epochs as u64)
+            .u64("batch_size", config.batch_size as u64)
+            .u64("n_experts", config.n_experts as u64)
+            .u64("top_k", config.top_k as u64)
+            .u64("n_adversarial", config.n_adversarial as u64)
+            .f64("lambda1", f64::from(config.lambda1))
+            .f64("lambda2", f64::from(config.lambda2))
+            .u64("n_seeds", config.n_seeds as u64)
+            .u64("threads", amoe_tensor::pool::threads() as u64),
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emit_is_safe_when_disabled() {
+        amoe_obs::set_enabled(false);
+        emit("test_experiment", &SuiteConfig::fast());
+    }
+}

@@ -15,6 +15,7 @@ pub struct Table1 {
 /// Generates the dataset and computes its statistics.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Table1 {
+    crate::manifest::emit("table1", config);
     let dataset = config.dataset();
     Table1 {
         stats: DatasetStats::compute(&dataset),

@@ -49,6 +49,7 @@ pub fn evaluate(config: &SuiteConfig, zoo: &TrainedZoo) -> Table2 {
 /// Also returns the last zoo for reuse by the figure experiments.
 #[must_use]
 pub fn run_with_zoo(config: &SuiteConfig) -> (Table2, TrainedZoo) {
+    crate::manifest::emit("table2", config);
     let seeds = config.seeds();
     let mut tables: Vec<Table2> = Vec::new();
     let mut last_zoo = None;

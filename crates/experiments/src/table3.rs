@@ -34,6 +34,7 @@ const CATS: [(&str, &str); 3] = [("Mobile Phone", "M"), ("Books", "B"), ("Clothi
 /// Runs the experiment.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Table3 {
+    crate::manifest::emit("table3", config);
     let dataset = config.dataset();
     let trainer = Trainer::new(config.train_config());
     let optim = config.optim;

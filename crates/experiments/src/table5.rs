@@ -36,6 +36,7 @@ const VARIANTS: [(GateInput, &str); 5] = [
 /// Runs the ablation: one Adv & HSC-MoE training per gate-input variant.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Table5 {
+    crate::manifest::emit("table5", config);
     let dataset = config.dataset();
     let trainer = Trainer::new(config.train_config());
     // Paper Table 5 uses λ = 1e-2 for both multipliers.

@@ -30,6 +30,7 @@ pub const LAMBDAS: [f32; 3] = [1e-1, 1e-2, 1e-3];
 /// Runs the nine-run grid.
 #[must_use]
 pub fn run(config: &SuiteConfig) -> Table6 {
+    crate::manifest::emit("table6", config);
     let dataset = config.dataset();
     let trainer = Trainer::new(config.train_config());
     let seeds = config.seeds();

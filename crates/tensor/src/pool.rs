@@ -23,8 +23,17 @@
 //! call, which costs ~10–20 µs per region on Linux and is amortised by
 //! the size thresholds the callers apply (large matmuls, per-expert
 //! batched forwards, whole eval batches).
+//!
+//! When [`amoe_obs`] telemetry is enabled (`AMOE_OBS=...`), every
+//! parallel region records its wall time (`pool.region` /
+//! `pool.row_blocks` histograms, nanoseconds), its spawn overhead
+//! (`pool.spawn_ns` — the ROADMAP's open question about scoped-spawn
+//! cost on small regions), and running `pool.regions` / `pool.tasks` /
+//! `pool.workers_spawned` counters. With telemetry off the
+//! instrumentation is a single relaxed atomic load per region.
 
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
 
 /// Thread-count override; 0 means "not set, consult the environment".
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
@@ -82,9 +91,14 @@ where
     if workers <= 1 {
         return (0..n_tasks).map(f).collect();
     }
+    let _region = amoe_obs::Span::enter("pool.region");
+    amoe_obs::counter_add("pool.regions", 1);
+    amoe_obs::counter_add("pool.tasks", n_tasks as u64);
+    amoe_obs::counter_add("pool.workers_spawned", workers as u64);
     let cursor = AtomicUsize::new(0);
     let mut slots: Vec<Option<T>> = (0..n_tasks).map(|_| None).collect();
     std::thread::scope(|s| {
+        let spawn_start = amoe_obs::enabled().then(Instant::now);
         let handles: Vec<_> = (0..workers)
             .map(|_| {
                 s.spawn(|| {
@@ -100,6 +114,9 @@ where
                 })
             })
             .collect();
+        if let Some(t) = spawn_start {
+            amoe_obs::histogram_record("pool.spawn_ns", t.elapsed().as_nanos() as f64);
+        }
         for h in handles {
             for (i, v) in h.join().expect("pool::map_tasks: worker panicked") {
                 slots[i] = Some(v);
@@ -146,11 +163,18 @@ where
         f(0, out);
         return;
     }
+    let _region = amoe_obs::Span::enter("pool.row_blocks");
+    amoe_obs::counter_add("pool.regions", 1);
+    amoe_obs::counter_add("pool.workers_spawned", workers as u64);
     let rows_per_block = rows.div_ceil(workers);
     std::thread::scope(|s| {
+        let spawn_start = amoe_obs::enabled().then(Instant::now);
         for (b, block) in out.chunks_mut(rows_per_block * row_len).enumerate() {
             let f = &f;
             s.spawn(move || f(b * rows_per_block, block));
+        }
+        if let Some(t) = spawn_start {
+            amoe_obs::histogram_record("pool.spawn_ns", t.elapsed().as_nanos() as f64);
         }
     });
 }

@@ -11,6 +11,13 @@ cd "$(dirname "$0")/.."
 
 step() { printf '\n== %s ==\n' "$*"; }
 
+step "repo hygiene: no build artifacts tracked"
+if git ls-files -- 'target/*' '*/target/*' | grep -q .; then
+  echo "FAIL: build artifacts are tracked in git:" >&2
+  git ls-files -- 'target/*' '*/target/*' | head >&2
+  exit 1
+fi
+
 if [[ -z "${SKIP_FMT:-}" ]]; then
   step "cargo fmt --check"
   cargo fmt --all --check
@@ -24,5 +31,9 @@ cargo test -q --offline --release --workspace
 
 step "serving thread-sweep bench (smoke)"
 AMOE_BENCH_SMOKE=1 cargo run --release --offline -p amoe-bench --bin serving_sweep
+
+step "telemetry smoke: tiny training run emits valid JSONL"
+AMOE_OBS=target/ci_obs_smoke.jsonl \
+  cargo run --release --offline -p amoe-bench --bin obs_smoke
 
 step "ci green"
