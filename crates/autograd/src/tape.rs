@@ -188,6 +188,24 @@ impl Tape {
         self.nodes.borrow()[id].value.clone()
     }
 
+    /// Re-materialises the [`Var`] handle for node `id`.
+    ///
+    /// `Var` borrows its tape and is therefore not `Send`; code that
+    /// moves a tape across threads (the parallel per-expert training
+    /// path) keeps raw ids instead and rebuilds handles with this.
+    ///
+    /// # Panics
+    /// Panics if `id` is not a node on this tape.
+    #[must_use]
+    pub fn var(&self, id: usize) -> Var<'_> {
+        assert!(
+            id < self.nodes.borrow().len(),
+            "Tape::var: id {id} out of range for tape of {} nodes",
+            self.nodes.borrow().len()
+        );
+        Var::new(self, id)
+    }
+
     /// Shape of the forward value of a node without cloning it.
     #[must_use]
     pub fn shape(&self, id: usize) -> (usize, usize) {
@@ -208,18 +226,40 @@ impl Tape {
     /// value of `output`). Useful for vector-Jacobian products in tests.
     #[must_use]
     pub fn backward_seeded(&self, output: Var<'_>, seed: Matrix) -> Grads {
-        let nodes = self.nodes.borrow();
-        assert_eq!(
-            nodes[output.id()].value.shape(),
-            seed.shape(),
-            "backward: seed shape {:?} does not match output shape {:?}",
-            seed.shape(),
-            nodes[output.id()].value.shape()
-        );
-        let mut grads: Vec<Option<Matrix>> = vec![None; nodes.len()];
-        grads[output.id()] = Some(seed);
+        self.backward_multi(vec![(output, seed)])
+    }
 
-        for id in (0..=output.id()).rev() {
+    /// Backward sweep seeded at several nodes at once — the
+    /// vector-Jacobian product `Σ_i seedᵢ · J(outputᵢ)`.
+    ///
+    /// This is how the split-graph training path back-propagates
+    /// through a shared prefix tape: the downstream graphs (per-expert
+    /// towers, the gate/loss tape) each hand back a cotangent for the
+    /// boundary node they consumed, and one sweep pushes all of them
+    /// through the shared nodes. Seeds for the same node accumulate.
+    ///
+    /// # Panics
+    /// Panics if `seeds` is empty or any seed's shape does not match
+    /// its node's value shape.
+    #[must_use]
+    pub fn backward_multi(&self, seeds: Vec<(Var<'_>, Matrix)>) -> Grads {
+        assert!(!seeds.is_empty(), "backward_multi: no seeds");
+        let nodes = self.nodes.borrow();
+        let mut grads: Vec<Option<Matrix>> = vec![None; nodes.len()];
+        let mut start = 0;
+        for (output, seed) in seeds {
+            assert_eq!(
+                nodes[output.id()].value.shape(),
+                seed.shape(),
+                "backward: seed shape {:?} does not match output shape {:?}",
+                seed.shape(),
+                nodes[output.id()].value.shape()
+            );
+            start = start.max(output.id());
+            Self::accumulate(&mut grads[output.id()], seed);
+        }
+
+        for id in (0..=start).rev() {
             let Some(g) = grads[id].take() else {
                 continue;
             };
@@ -438,6 +478,50 @@ mod tests {
         let tape = Tape::new();
         let x = tape.leaf(Matrix::ones(2, 2));
         let _ = tape.backward(x);
+    }
+
+    #[test]
+    fn var_rebuilds_handle() {
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(2, 3));
+        let again = tape.var(x.id());
+        assert_eq!(again.id(), x.id());
+        assert_eq!(again.value(), x.value());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn var_rejects_unknown_id() {
+        let tape = Tape::new();
+        let _ = tape.var(3);
+    }
+
+    #[test]
+    fn backward_multi_matches_sum_of_sweeps() {
+        // loss1 = sum(x*x), loss2 = sum(x) seeded at distinct nodes
+        // must equal backward(loss1 + loss2).
+        fn build(tape: &Tape) -> (Var<'_>, Var<'_>, Var<'_>) {
+            let x = tape.leaf(Matrix::from_rows(&[&[1.0, -2.0, 3.0]]));
+            (x, (x * x).sum_all(), x.sum_all())
+        }
+        let t1 = Tape::new();
+        let (x1, a1, b1) = build(&t1);
+        let combined = t1.backward(a1 + b1);
+
+        let t2 = Tape::new();
+        let (x2, a2, b2) = build(&t2);
+        let multi = t2.backward_multi(vec![(a2, Matrix::scalar(1.0)), (b2, Matrix::scalar(1.0))]);
+        assert_eq!(combined.get(x1).unwrap(), multi.get(x2).unwrap());
+    }
+
+    #[test]
+    fn backward_multi_accumulates_repeated_node() {
+        // Seeding the same node twice must behave like one summed seed.
+        let tape = Tape::new();
+        let x = tape.leaf(Matrix::ones(1, 2));
+        let s = x.sum_all();
+        let g = tape.backward_multi(vec![(s, Matrix::scalar(1.0)), (s, Matrix::scalar(2.0))]);
+        assert_eq!(g.get(x).unwrap(), &Matrix::filled(1, 2, 3.0));
     }
 
     #[test]

@@ -103,7 +103,75 @@ fn main() {
         }
         pool::clear_threads_override();
     }
+
+    dispatch_compare(smoke);
+
     // Per-phase span histograms (serving.gate/experts/scatter,
-    // pool.region, pool.spawn_ns) land next to the sweep rows.
+    // pool.region, pool.queue_wait_ns) and pool counters
+    // (pool.regions, pool.region_reuse, pool.workers_started) land
+    // next to the sweep rows.
     amoe_obs::emit_metrics_snapshot();
+}
+
+/// Micro-benchmark of region dispatch overhead: many regions of
+/// trivial tasks through the persistent pool versus spawning a fresh
+/// `std::thread::scope` per region (the pre-persistent-pool runtime).
+/// The task bodies are ~free, so the per-region figure is almost pure
+/// dispatch cost — the quantity the persistent pool exists to shrink.
+fn dispatch_compare(smoke: bool) {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    let regions = if smoke { 200u32 } else { 2000 };
+    let n_tasks = 8usize;
+    let workers = pool::threads().min(n_tasks);
+    let sink = AtomicUsize::new(0);
+
+    // Warm the pool so worker start-up is not billed to the first region.
+    pool::for_each_task(n_tasks, |i| {
+        black_box(i);
+    });
+
+    let start = Instant::now();
+    for _ in 0..regions {
+        pool::for_each_task(n_tasks, |i| {
+            sink.fetch_add(i, Ordering::Relaxed);
+        });
+    }
+    let persistent_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(regions);
+
+    let start = Instant::now();
+    for _ in 0..regions {
+        let cursor = AtomicUsize::new(0);
+        let claim = || loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= n_tasks {
+                break;
+            }
+            sink.fetch_add(i, Ordering::Relaxed);
+        };
+        std::thread::scope(|s| {
+            for _ in 1..workers {
+                s.spawn(claim);
+            }
+            claim();
+        });
+    }
+    let scoped_us = start.elapsed().as_secs_f64() * 1e6 / f64::from(regions);
+    black_box(sink.load(Ordering::Relaxed));
+
+    println!();
+    println!("dispatch overhead ({regions} regions x {n_tasks} trivial tasks, {workers} lanes)");
+    println!("{:>12} {:>14}", "mode", "us/region");
+    for (mode, us) in [("persistent", persistent_us), ("scoped", scoped_us)] {
+        println!("{mode:>12} {us:>14.2}");
+        amoe_obs::emit(
+            &amoe_obs::Event::new("dispatch_compare")
+                .str("mode", mode)
+                .u64("regions", u64::from(regions))
+                .u64("tasks_per_region", n_tasks as u64)
+                .u64("lanes", workers as u64)
+                .f64("us_per_region", us)
+                .f64("speedup_vs_scoped", scoped_us / us),
+        );
+    }
 }

@@ -152,6 +152,25 @@ impl FeatureEncoder {
     pub fn n_numeric(&self) -> usize {
         self.n_numeric
     }
+
+    /// Every parameter handle the encoder owns (all embedding tables).
+    /// Used to bind the shared-prefix tape of the split-graph training
+    /// path to exactly the encoder's weights.
+    #[must_use]
+    pub fn param_ids(&self) -> Vec<amoe_nn::ParamId> {
+        let mut ids = vec![
+            self.sc.table(),
+            self.tc.table(),
+            self.brand.table(),
+            self.shop.table(),
+            self.user_segment.table(),
+            self.price_bucket.table(),
+        ];
+        if let Some(q) = &self.query {
+            ids.push(q.table());
+        }
+        ids
+    }
 }
 
 #[cfg(test)]

@@ -74,6 +74,14 @@ impl NoisyTopKGate {
         self.w
     }
 
+    /// Every parameter handle of this gate (`w`, plus `w_noise` when the
+    /// gate is noisy). Used to bind the gate/loss tape of the
+    /// split-graph training path to exactly the gate's weights.
+    #[must_use]
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        std::iter::once(self.w).chain(self.w_noise).collect()
+    }
+
     /// Runs the gate. `noise_rng` enables the noisy path (training);
     /// `None` evaluates deterministically (serving / eval / Fig. 6).
     ///

@@ -4,7 +4,9 @@ use amoe_autograd::{Tape, Var};
 use amoe_dataset::{Batch, DatasetMeta};
 use amoe_nn::optim::{Adam, Optimizer};
 use amoe_nn::{Activation, Mlp, ParamId, ParamSet};
-use amoe_tensor::{ops, Matrix, Rng};
+use amoe_tensor::{ops, pool, Matrix, Rng};
+
+use std::sync::Mutex;
 
 use crate::config::MoeConfig;
 use crate::features::FeatureEncoder;
@@ -52,8 +54,6 @@ struct MoeForward<'t> {
     expert_matrix: Var<'t>,
     /// `B x 1` ensemble logits.
     logit: Var<'t>,
-    /// Constraint-gate clean logits when HSC is active.
-    constraint_logits: Option<Var<'t>>,
 }
 
 impl MoeModel {
@@ -148,16 +148,10 @@ impl MoeModel {
         let outs: Vec<Var<'t>> = self.experts.iter().map(|e| e.forward(bound, x)).collect();
         let expert_matrix = Var::concat_cols(&outs);
         let logit = (gate.probs * expert_matrix).row_sum();
-        let constraint_logits = self.constraint_gate.as_ref().map(|cg| {
-            let tc_emb = self.encoder.tc_embedding(bound, batch);
-            cg.forward(tape, bound, tc_emb, self.config.top_k, None)
-                .clean_logits
-        });
         MoeForward {
             gate,
             expert_matrix,
             logit,
-            constraint_logits,
         }
     }
 
@@ -277,38 +271,158 @@ impl Ranker for MoeModel {
     }
 }
 
+/// One expert's forward tape, built in parallel and revisited for the
+/// seeded backward pass. Carries raw node ids instead of `Var`s so it
+/// can cross threads (`Tape` is `Send`; `Var` is not).
+struct ExpertFwd {
+    tape: Tape,
+    /// Leaf holding the shared input `X`.
+    x_id: usize,
+    /// The tower's `B x 1` output logits.
+    out_id: usize,
+    /// `(parameter, leaf id)` for every tower weight on this tape.
+    leaves: Vec<(ParamId, usize)>,
+}
+
+/// One expert's backward result: cotangent of the shared input plus the
+/// tower's parameter gradients, merged serially in expert order.
+struct ExpertGrad {
+    d_x: Matrix,
+    param_grads: Vec<(ParamId, Matrix)>,
+}
+
 impl MoeModel {
     /// Runs one forward/backward pass, leaving fresh (clipped) gradients
     /// in the parameter set without applying an optimizer update. Used
     /// by [`Ranker::train_step`] and by [`crate::finetune::FineTuner`],
     /// which filters the gradients before stepping its own optimizer.
+    ///
+    /// # Parallelism
+    ///
+    /// The computation graph is split at its natural seams so the
+    /// mutually independent expert towers can fan out across the
+    /// [`pool`] runtime:
+    ///
+    /// 1. a shared-prefix tape builds the encoder outputs (`X`, the
+    ///    gate input, the TC embedding) serially;
+    /// 2. each expert forward runs on its **own tape** (bound to just
+    ///    that tower's weights, fed the value of `X` as a leaf) — one
+    ///    pool task per expert;
+    /// 3. a gate/loss tape consumes the expert outputs as leaves,
+    ///    builds the gate and all loss terms, and back-propagates —
+    ///    serial, and bit-identical to the former single-tape loss
+    ///    because the floating-point op sequence is unchanged;
+    /// 4. each expert tape back-propagates from its output's cotangent
+    ///    — one pool task per expert;
+    /// 5. gradients merge serially **in expert order** (never in
+    ///    completion order), and one multi-seed sweep pushes the `X` /
+    ///    gate-input / TC cotangents through the shared-prefix tape.
+    ///
+    /// Every cross-thread write lands in a per-expert slot and every
+    /// floating-point merge runs on the caller in a fixed order, so
+    /// losses and gradients are bit-identical for every thread count.
     pub fn accumulate_gradients(&mut self, batch: &Batch) -> StepStats {
-        let tape = Tape::new();
-        let bound = self.params.bind(&tape);
-        // Borrow discipline: the noise/adversarial RNG is a dedicated
-        // field so the forward pass can use it while params are bound.
+        let b = batch.len();
+        let n_experts = self.experts.len();
+
+        // Stage 1: shared-prefix (encoder) tape, serial.
+        let enc_tape = Tape::new();
+        let enc_bound = self
+            .params
+            .bind_subset(&enc_tape, &self.encoder.param_ids());
+        let x = self.encoder.input(&enc_tape, &enc_bound, batch);
+        let gate_in = self
+            .encoder
+            .gate_input(&enc_tape, &enc_bound, batch, self.config.gate_input);
+        let tc_emb = self
+            .constraint_gate
+            .is_some()
+            .then(|| self.encoder.tc_embedding(&enc_bound, batch));
+        let x_val = x.value();
+        let gate_in_val = gate_in.value();
+        let tc_val = tc_emb.map(|v| v.value());
+
+        // Stage 2: per-expert forward tapes, one pool task per expert.
+        let experts = &self.experts;
+        let params = &self.params;
+        let x_ref = &x_val;
+        let fwds: Vec<ExpertFwd> = {
+            let _span = amoe_obs::Span::enter("train.expert_fwd");
+            pool::map_tasks(n_experts, |e| {
+                let tape = Tape::new();
+                let ids = experts[e].param_ids();
+                let bound = params.bind_subset(&tape, &ids);
+                let x_leaf = tape.leaf(x_ref.clone());
+                let out = experts[e].forward(&bound, x_leaf);
+                let leaves = ids.iter().map(|&pid| (pid, bound.leaf_id(pid))).collect();
+                ExpertFwd {
+                    x_id: x_leaf.id(),
+                    out_id: out.id(),
+                    leaves,
+                    tape,
+                }
+            })
+        };
+        // Take-once slots so the backward tasks can reclaim their tape
+        // across the pool boundary (`Tape` is `Send` but not `Sync`).
+        let mut out_vals = Vec::with_capacity(n_experts);
+        let fwd_slots: Vec<Mutex<Option<ExpertFwd>>> = fwds
+            .into_iter()
+            .map(|f| {
+                out_vals.push(f.tape.value(f.out_id));
+                Mutex::new(Some(f))
+            })
+            .collect();
+
+        // Stage 3: gate + loss tape, serial. The RNG draw order (gating
+        // noise first, adversarial mask second) matches the former
+        // single-tape implementation, so sampled values are unchanged.
+        let loss_tape = Tape::new();
+        let mut head_ids = self.inference_gate.param_ids();
+        if let Some(cg) = &self.constraint_gate {
+            head_ids.extend(cg.param_ids());
+        }
+        let loss_bound = self.params.bind_subset(&loss_tape, &head_ids);
+        let gate_in_leaf = loss_tape.leaf(gate_in_val);
         let mut step_rng = self.rng.fork(0);
         let noise = self.config.noisy_gating.then_some(&mut step_rng);
-        let fwd = self.forward(&tape, &bound, batch, noise);
+        let gate = self.inference_gate.forward(
+            &loss_tape,
+            &loss_bound,
+            gate_in_leaf,
+            self.config.top_k,
+            noise,
+        );
+        let out_leaves: Vec<Var<'_>> = out_vals.into_iter().map(|v| loss_tape.leaf(v)).collect();
+        let expert_matrix = Var::concat_cols(&out_leaves);
+        let logit = (gate.probs * expert_matrix).row_sum();
+        let tc_leaf = tc_val.map(|v| loss_tape.leaf(v));
+        let constraint_logits = self.constraint_gate.as_ref().map(|cg| {
+            cg.forward(
+                &loss_tape,
+                &loss_bound,
+                tc_leaf.expect("HSC implies a TC embedding"),
+                self.config.top_k,
+                None,
+            )
+            .clean_logits
+        });
 
-        let ce = fwd.logit.bce_with_logits(&batch.labels);
+        let ce = logit.bce_with_logits(&batch.labels);
         let mut per_example = ce;
         let mut stats = StepStats::default();
 
-        if let Some(c_logits) = fwd.constraint_logits {
-            let hsc = hsc_loss(fwd.gate.clean_logits, c_logits, &fwd.gate.topk_mask);
+        if let Some(c_logits) = constraint_logits {
+            let hsc = hsc_loss(gate.clean_logits, c_logits, &gate.topk_mask);
             stats.hsc = amoe_tensor::reduce::mean(&hsc.value());
             per_example = per_example + hsc.scale(self.config.lambda1);
         }
         if self.config.adversarial {
-            let adv_mask = sample_adversarial_mask(
-                &fwd.gate.topk_mask,
-                self.config.n_adversarial,
-                &mut step_rng,
-            );
+            let adv_mask =
+                sample_adversarial_mask(&gate.topk_mask, self.config.n_adversarial, &mut step_rng);
             let adv = adversarial_loss(
-                fwd.expert_matrix,
-                &fwd.gate.topk_mask,
+                expert_matrix,
+                &gate.topk_mask,
                 &adv_mask,
                 self.config.top_k,
                 self.config.n_adversarial,
@@ -320,21 +434,71 @@ impl MoeModel {
 
         let mut loss = per_example.mean_all();
         if self.config.load_balance > 0.0 {
-            let lb = load_balance_loss(fwd.gate.probs);
+            let lb = load_balance_loss(gate.probs);
             stats.load_balance = lb.value()[(0, 0)];
             loss = loss + lb.scale(self.config.load_balance);
         }
         stats.loss = loss.value()[(0, 0)];
 
         // Materialise the gate probabilities while the tape is alive;
-        // the accumulator needs `&mut self`, which must wait for the
-        // parameter binding to drop.
-        let gate_probs = amoe_obs::enabled().then(|| fwd.gate.probs.value());
+        // the telemetry accumulator needs `&mut self` and runs last.
+        let gate_probs = amoe_obs::enabled().then(|| gate.probs.value());
 
-        let grads = tape.backward(loss);
+        let loss_grads = loss_tape.backward(loss);
         self.params.zero_grads();
-        self.params.collect_grads(&bound, &grads);
-        drop(bound);
+        self.params.collect_grads(&loss_bound, &loss_grads);
+
+        // Boundary cotangents: one per expert output, plus the gate
+        // input and (under HSC) the TC embedding.
+        let d_outs: Vec<Matrix> = out_leaves
+            .iter()
+            .map(|&v| loss_grads.get_or_zeros(v, b, 1))
+            .collect();
+        let d_gate_in = loss_grads.get_or_zeros(gate_in_leaf, b, gate_in_leaf.shape().1);
+        let d_tc = tc_leaf.map(|v| loss_grads.get_or_zeros(v, b, v.shape().1));
+
+        // Stage 4: per-expert backward, one pool task per expert.
+        let x_cols = x_val.cols();
+        let slots = &fwd_slots;
+        let d_outs_ref = &d_outs;
+        let backs: Vec<ExpertGrad> = {
+            let _span = amoe_obs::Span::enter("train.expert_bwd");
+            pool::map_tasks(n_experts, |e| {
+                let f = slots[e]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .take()
+                    .expect("expert tape claimed exactly once");
+                let g = f
+                    .tape
+                    .backward_seeded(f.tape.var(f.out_id), d_outs_ref[e].clone());
+                let d_x = g.get_or_zeros(f.tape.var(f.x_id), b, x_cols);
+                let param_grads = f
+                    .leaves
+                    .iter()
+                    .filter_map(|&(pid, leaf)| g.get(f.tape.var(leaf)).map(|m| (pid, m.clone())))
+                    .collect();
+                ExpertGrad { d_x, param_grads }
+            })
+        };
+
+        // Stage 5: deterministic serial merge in expert order.
+        let mut d_x = Matrix::zeros(b, x_cols);
+        for eg in backs {
+            ops::add_assign(&mut d_x, &eg.d_x);
+            for (pid, g) in eg.param_grads {
+                ops::add_assign(self.params.grad_mut(pid), &g);
+            }
+        }
+
+        // Stage 6: one multi-seed sweep through the shared prefix.
+        let mut seeds = vec![(x, d_x), (gate_in, d_gate_in)];
+        if let (Some(tc), Some(d)) = (tc_emb, d_tc) {
+            seeds.push((tc, d));
+        }
+        let enc_grads = enc_tape.backward_multi(seeds);
+        self.params.collect_grads(&enc_bound, &enc_grads);
+
         if self.clip_norm > 0.0 {
             self.params.clip_grad_global_norm(self.clip_norm);
         }

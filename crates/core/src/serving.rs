@@ -7,11 +7,18 @@
 //! routed to it, run one batched MLP forward, and scatter the weighted
 //! outputs back. No autograd tape, no per-op value cloning.
 //!
-//! Experts are mutually independent, so the per-expert batched forwards
-//! fan out across the [`amoe_tensor::pool`] runtime. The scatter that
+//! The gate cut and the expert dispatch are both parallel and share one
+//! [`amoe_tensor::pool::fused_region`]: the lanes drain the per-row
+//! top-K + masked-softmax tasks, the caller splices the routing tables
+//! together while the workers hold at the region's internal barrier,
+//! and the same lanes then drain the per-expert forwards — one pool
+//! wake for the whole call instead of one per phase. The scatter that
 //! mixes expert outputs back into the ensemble logit runs serially in
 //! expert order, which keeps the floating-point accumulation order — and
 //! therefore the logits — bit-identical for every `AMOE_THREADS` value.
+//! (The row partitioning of the gate phase varies with the thread
+//! budget, but each row's cut is computed independently, so the routing
+//! tables it produces do not.)
 //!
 //! The `serving_sweep` bench demonstrates the constant-cost property by
 //! sweeping `N` at fixed `K`, and the parallel speedup by sweeping the
@@ -19,25 +26,40 @@
 //!
 //! # Telemetry
 //!
-//! The three phases (gate, expert dispatch, scatter) run under
-//! [`amoe_obs::timed`] spans, so per-phase wall times always reach the
-//! returned [`Stats`] and additionally feed the `serving.gate` /
+//! Per-phase wall times (gate, expert dispatch, scatter) always reach
+//! the returned [`Stats`] and additionally feed the `serving.gate` /
 //! `serving.experts` / `serving.scatter` histograms plus one
 //! `serving_predict` JSONL event per call whenever `AMOE_OBS` is set.
+//! The gate/expert boundary is a clock read inside the fused region's
+//! mid splice, so the two phases stay separately attributed even
+//! though they share a region.
 
-use std::time::Duration;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
 
 use amoe_dataset::Batch;
 use amoe_tensor::{ops, pool, topk, Matrix};
 
 use crate::models::MoeModel;
 
+/// One gate-phase block: `(top-K indices, masked-softmax weights)` for
+/// each row of a contiguous row block.
+type GateBlock = Vec<(Vec<usize>, Vec<f32>)>;
+/// One expert's routing table: the example rows it serves and their
+/// gate coefficients, in example order.
+type Routing = (Vec<usize>, Vec<f32>);
+/// One expert's finished dispatch: its routing table plus the batched
+/// tower output (`None` when no rows routed to it).
+type ExpertOut = (Vec<usize>, Vec<f32>, Option<Matrix>);
+
 /// Lightweight instrumentation of one sparse-serving call.
 #[derive(Clone, Debug, Default)]
 pub struct Stats {
     /// Number of examples scored.
     pub examples: usize,
-    /// Threads the pool was allowed to use.
+    /// Lanes the expert phase actually used:
+    /// `min(pool budget, n_experts)`. A 64-thread budget dispatching 8
+    /// experts still runs 8 lanes, and that is the number reported here.
     pub threads: usize,
     /// Wall time encoding inputs and computing gate logits.
     pub gate_time: Duration,
@@ -145,74 +167,113 @@ impl<'m> ServingMoe<'m> {
         let n_experts = model.experts().len();
         let mut stats = Stats {
             examples: b,
-            threads: pool::threads(),
+            threads: pool::effective_workers(n_experts),
             dispatch: vec![0; n_experts],
             ..Stats::default()
         };
+        if b == 0 {
+            return (Vec::new(), stats);
+        }
 
-        // Dense input once; gating from the SC embedding.
-        let ((x, weights, selected), gate_time) = amoe_obs::timed("serving.gate", || {
-            let x = model.encoder_input_infer(batch);
-            let gate_in = model.gate_input_infer(batch);
-            let logits = model.gate_logits_infer(&gate_in);
+        let gate_start = Instant::now();
+        // Dense input once; gating from the SC embedding. The matmuls run
+        // their own row-block regions before the fused region opens.
+        let x = model.encoder_input_infer(batch);
+        let gate_in = model.gate_input_infer(batch);
+        let logits = model.gate_logits_infer(&gate_in);
 
-            // Per-example top-K selection + masked softmax weights.
-            let mut weights = vec![vec![0f32; 0]; b];
-            let mut selected = vec![vec![0usize; 0]; b];
-            for r in 0..b {
-                let idx = topk::top_k_indices(logits.row(r), cfg.top_k);
-                // Softmax over the selected logits only (Eq. 6–7).
-                let max = logits[(r, idx[0])];
-                let mut exps: Vec<f32> =
-                    idx.iter().map(|&c| (logits[(r, c)] - max).exp()).collect();
-                let sum: f32 = exps.iter().sum();
-                exps.iter_mut().for_each(|e| *e /= sum);
-                weights[r] = exps;
-                selected[r] = idx;
-            }
-            (x, weights, selected)
-        });
-        stats.gate_time = gate_time;
+        // Per-row-block slots for the gate phase: block `i` holds the
+        // `(top-K indices, masked-softmax weights)` of its contiguous
+        // rows. The partitioning follows the thread budget, but every
+        // row's cut is computed independently, so the assembled routing
+        // tables are budget-invariant.
+        let rows_per_block = b.div_ceil(pool::effective_workers(b));
+        let n_blocks = b.div_ceil(rows_per_block);
+        let gate_blocks: Vec<Mutex<GateBlock>> =
+            (0..n_blocks).map(|_| Mutex::new(Vec::new())).collect();
+        // Per-expert routing slots (the mid splice fills, the expert
+        // phase drains) and output slots (the expert phase fills, the
+        // scatter drains). Slot `e` is only ever touched by expert `e`'s
+        // task, so the locks are uncontended.
+        let routing: Vec<Mutex<Option<Routing>>> =
+            (0..n_experts).map(|_| Mutex::new(None)).collect();
+        let outputs: Vec<Mutex<Option<ExpertOut>>> =
+            (0..n_experts).map(|_| Mutex::new(None)).collect();
+        let mut gate_end = gate_start;
 
-        // Expert-major batching. Routing tables are built serially (cheap,
-        // and their order defines the deterministic scatter below); the
-        // per-expert gather + batched MLP forward — the dominant cost —
-        // fans out across the pool, one independent task per expert.
-        let mut routed_rows: Vec<Vec<usize>> = vec![Vec::new(); n_experts];
-        let mut routed_coeffs: Vec<Vec<f32>> = vec![Vec::new(); n_experts];
-        let (expert_outputs, expert_time) = amoe_obs::timed("serving.experts", || {
-            for r in 0..b {
-                for (pos, &e_idx) in selected[r].iter().enumerate() {
-                    routed_rows[e_idx].push(r);
-                    routed_coeffs[e_idx].push(weights[r][pos]);
+        // One pool wake covers both parallel phases: per-row gating
+        // tasks, the serial routing-table splice on the caller, then
+        // the per-expert gather + batched MLP forwards — the dominant
+        // cost — on the same lanes.
+        pool::fused_region(
+            n_blocks,
+            |blk| {
+                let first = blk * rows_per_block;
+                let rows = rows_per_block.min(b - first);
+                let mut cut = Vec::with_capacity(rows);
+                for r in first..first + rows {
+                    let idx = topk::top_k_indices(logits.row(r), cfg.top_k);
+                    // Softmax over the selected logits only (Eq. 6–7).
+                    let max = logits[(r, idx[0])];
+                    let mut exps: Vec<f32> =
+                        idx.iter().map(|&c| (logits[(r, c)] - max).exp()).collect();
+                    let sum: f32 = exps.iter().sum();
+                    exps.iter_mut().for_each(|e| *e /= sum);
+                    cut.push((idx, exps));
                 }
-            }
-            let outputs: Vec<Option<Matrix>> = pool::map_tasks(n_experts, |e_idx| {
-                let rows = &routed_rows[e_idx];
-                if rows.is_empty() {
-                    return None;
+                *gate_blocks[blk].lock().unwrap() = cut;
+            },
+            || {
+                gate_end = Instant::now();
+                // Routing tables spliced in global row order: their
+                // order defines the deterministic scatter below.
+                let mut rows: Vec<Vec<usize>> = vec![Vec::new(); n_experts];
+                let mut coeffs: Vec<Vec<f32>> = vec![Vec::new(); n_experts];
+                for (blk, slot) in gate_blocks.iter().enumerate() {
+                    let first = blk * rows_per_block;
+                    for (j, (idx, w)) in slot.lock().unwrap().iter().enumerate() {
+                        for (pos, &e_idx) in idx.iter().enumerate() {
+                            rows[e_idx].push(first + j);
+                            coeffs[e_idx].push(w[pos]);
+                        }
+                    }
                 }
-                let xe = x.gather_rows(rows);
-                Some(model.experts()[e_idx].infer(params, &xe))
-            });
-            outputs
-        });
-        stats.expert_time = expert_time;
-        for (e_idx, rows) in routed_rows.iter().enumerate() {
-            stats.dispatch[e_idx] = rows.len();
+                for (e_idx, pair) in rows.into_iter().zip(coeffs).enumerate() {
+                    *routing[e_idx].lock().unwrap() = Some(pair);
+                }
+            },
+            n_experts,
+            |e_idx| {
+                let (rows, coeffs) = routing[e_idx]
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("routing slot filled by the mid splice");
+                let ye = (!rows.is_empty())
+                    .then(|| model.experts()[e_idx].infer(params, &x.gather_rows(&rows)));
+                *outputs[e_idx].lock().unwrap() = Some((rows, coeffs, ye));
+            },
+        );
+        stats.gate_time = gate_end.duration_since(gate_start);
+        stats.expert_time = gate_end.elapsed();
+        if amoe_obs::enabled() {
+            amoe_obs::histogram_record("serving.gate", stats.gate_time.as_nanos() as f64);
+            amoe_obs::histogram_record("serving.experts", stats.expert_time.as_nanos() as f64);
         }
 
         // Serial scatter in expert order: every thread count accumulates
         // each `out[r]` in the same order, so logits are bit-identical.
         let (out, scatter_time) = amoe_obs::timed("serving.scatter", || {
             let mut out = vec![0f32; b];
-            for (e_idx, ye) in expert_outputs.iter().enumerate() {
+            for (e_idx, slot) in outputs.iter().enumerate() {
+                let (rows, coeffs, ye) = slot
+                    .lock()
+                    .unwrap()
+                    .take()
+                    .expect("output slot filled by the expert phase");
+                stats.dispatch[e_idx] = rows.len();
                 let Some(ye) = ye else { continue };
-                for ((&r, &w), row) in routed_rows[e_idx]
-                    .iter()
-                    .zip(&routed_coeffs[e_idx])
-                    .zip(0..ye.rows())
-                {
+                for ((&r, &w), row) in rows.iter().zip(&coeffs).zip(0..ye.rows()) {
                     out[r] += w * ye[(row, 0)];
                 }
             }

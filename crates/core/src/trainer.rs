@@ -79,25 +79,32 @@ impl Trainer {
 
     /// Trains `model` on `train` for the configured number of epochs.
     /// Returns the mean loss decomposition of the final epoch.
+    ///
+    /// Per-step stats are batch means, so the epoch mean weights each
+    /// step by its batch's example count. An unweighted mean over steps
+    /// would over-weight the trailing partial batch whenever the split
+    /// size is not a multiple of `batch_size` — every example counts
+    /// once here, regardless of which batch it landed in.
     pub fn fit(&self, model: &mut dyn Ranker, train: &Split) -> StepStats {
         let mut batcher = Batcher::new(train, self.config.batch_size, self.config.seed);
         let mut last = StepStats::default();
         for epoch in 0..self.config.epochs {
             let ((), epoch_time) = amoe_obs::timed("trainer.epoch", || {
                 let mut sum = StepStats::default();
-                let mut steps = 0usize;
+                let mut examples = 0usize;
                 // next_batch returns None exactly once per epoch boundary.
                 while let Some(idx) = batcher.next_batch() {
                     let batch = Batch::from_split(train, idx);
+                    let w = batch.len() as f32;
                     let s = model.train_step(&batch);
-                    sum.loss += s.loss;
-                    sum.ce += s.ce;
-                    sum.hsc += s.hsc;
-                    sum.adv += s.adv;
-                    sum.load_balance += s.load_balance;
-                    steps += 1;
+                    sum.loss += s.loss * w;
+                    sum.ce += s.ce * w;
+                    sum.hsc += s.hsc * w;
+                    sum.adv += s.adv * w;
+                    sum.load_balance += s.load_balance * w;
+                    examples += batch.len();
                 }
-                let inv = 1.0 / steps.max(1) as f32;
+                let inv = 1.0 / examples.max(1) as f32;
                 last = StepStats {
                     loss: sum.loss * inv,
                     ce: sum.ce * inv,
@@ -302,5 +309,57 @@ mod tests {
     fn evaluate_scores_length_mismatch_panics() {
         let d = generate(&GeneratorConfig::tiny(35));
         let _ = evaluate_scores(&[0.5], &d.test);
+    }
+
+    /// Stub ranker whose per-step loss is the batch's mean label — a
+    /// genuine per-example mean, like the real models'. The weighted
+    /// epoch mean must then equal the split's overall label mean no
+    /// matter how the epoch was batched.
+    struct MeanLabelRanker;
+
+    impl Ranker for MeanLabelRanker {
+        fn name(&self) -> String {
+            "mean-label-stub".into()
+        }
+        fn train_step(&mut self, batch: &Batch) -> StepStats {
+            let pos = batch.labels.as_slice().iter().sum::<f32>();
+            StepStats {
+                loss: pos / batch.len() as f32,
+                ..StepStats::default()
+            }
+        }
+        fn predict(&self, batch: &Batch) -> Vec<f32> {
+            vec![0.5; batch.len()]
+        }
+        fn num_parameters(&self) -> usize {
+            0
+        }
+    }
+
+    #[test]
+    fn epoch_mean_weights_trailing_partial_batch_by_size() {
+        let d = generate(&GeneratorConfig::tiny(36));
+        let n = d.train.len();
+        // A batch size that leaves a small trailing remainder, so the
+        // last batch holds fewer examples than the rest. An unweighted
+        // mean over steps would over-weight that remainder.
+        let batch_size = (n - 3) / 2;
+        assert!(
+            !n.is_multiple_of(batch_size),
+            "test needs a partial trailing batch"
+        );
+        let trainer = Trainer::new(TrainConfig {
+            epochs: 1,
+            batch_size,
+            ..Default::default()
+        });
+        let stats = trainer.fit(&mut MeanLabelRanker, &d.train);
+        let overall = d.train.examples.iter().filter(|e| e.label).count() as f32 / n as f32;
+        assert!(
+            (stats.loss - overall).abs() < 1e-6,
+            "epoch mean {} != split label mean {}",
+            stats.loss,
+            overall
+        );
     }
 }

@@ -241,6 +241,17 @@ impl Mlp {
         &self.layers
     }
 
+    /// Every parameter handle of this MLP (weights and biases, layer
+    /// order). The split-graph training path uses this to bind one
+    /// expert tower onto its own tape via [`ParamSet::bind_subset`].
+    #[must_use]
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers
+            .iter()
+            .flat_map(|l| std::iter::once(l.weight()).chain(l.bias()))
+            .collect()
+    }
+
     /// Tape forward: activation after every layer except the last.
     #[must_use]
     pub fn forward<'t>(&self, bound: &Bound<'t>, x: Var<'t>) -> Var<'t> {

@@ -129,9 +129,34 @@ impl ParamSet {
             vars: self
                 .entries
                 .iter()
-                .map(|e| tape.leaf(e.value.clone()))
+                .map(|e| Some(tape.leaf(e.value.clone())))
                 .collect(),
         }
+    }
+
+    /// Like [`ParamSet::bind`] but inserts only the parameters named by
+    /// `ids` as leaves. The split-graph training path uses this to give
+    /// each per-expert tape exactly that expert's weights instead of
+    /// cloning the whole model onto every tape.
+    ///
+    /// Reading an unbound parameter through [`Bound::var`] panics;
+    /// [`ParamSet::collect_grads`] skips unbound entries.
+    ///
+    /// # Panics
+    /// Panics if `ids` contains a duplicate (it would silently drop the
+    /// first leaf's gradient).
+    #[must_use]
+    pub fn bind_subset<'t>(&self, tape: &'t Tape, ids: &[ParamId]) -> Bound<'t> {
+        let mut vars: Vec<Option<Var<'t>>> = vec![None; self.entries.len()];
+        for &id in ids {
+            assert!(
+                vars[id.0].is_none(),
+                "ParamSet::bind_subset: duplicate id for {:?}",
+                self.entries[id.0].name
+            );
+            vars[id.0] = Some(tape.leaf(self.entries[id.0].value.clone()));
+        }
+        Bound { vars }
     }
 
     /// Accumulates (`+=`) the gradients computed by a backward pass into
@@ -139,7 +164,7 @@ impl ParamSet {
     /// supporting gradient accumulation across micro-batches.
     pub fn collect_grads(&mut self, bound: &Bound<'_>, grads: &Grads) {
         for (entry, var) in self.entries.iter_mut().zip(&bound.vars) {
-            if let Some(g) = grads.get(*var) {
+            if let Some(g) = var.and_then(|v| grads.get(v)) {
                 ops::add_assign(&mut entry.grad, g);
             }
         }
@@ -200,16 +225,33 @@ impl std::fmt::Debug for ParamSet {
     }
 }
 
-/// Tape-bound views of all parameters for one forward/backward pass.
+/// Tape-bound views of parameters for one forward/backward pass.
+///
+/// Produced by [`ParamSet::bind`] (every parameter) or
+/// [`ParamSet::bind_subset`] (a selection; the rest stay `None`).
 pub struct Bound<'t> {
-    pub(crate) vars: Vec<Var<'t>>,
+    pub(crate) vars: Vec<Option<Var<'t>>>,
 }
 
 impl<'t> Bound<'t> {
     /// The tape variable bound to `id`.
+    ///
+    /// # Panics
+    /// Panics if `id` was not part of the binding (subset bindings only
+    /// carry the parameters they were built with).
     #[must_use]
     pub fn var(&self, id: ParamId) -> Var<'t> {
-        self.vars[id.0]
+        self.vars[id.0].expect("Bound::var: parameter not part of this binding")
+    }
+
+    /// The leaf node id bound to `id`, for code that must carry the
+    /// binding across threads (node ids are `Send`; `Var`s are not).
+    ///
+    /// # Panics
+    /// Panics if `id` was not part of the binding.
+    #[must_use]
+    pub fn leaf_id(&self, id: ParamId) -> usize {
+        self.var(id).id()
     }
 }
 
@@ -256,6 +298,42 @@ mod tests {
         assert_eq!(ps.grad(w).row(0), &[8.0, -4.0]);
         ps.zero_grads();
         assert_eq!(ps.grad(w).row(0), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn bind_subset_binds_only_requested() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::from_rows(&[&[2.0, -1.0]]));
+        let u = ps.add("u", Matrix::from_rows(&[&[5.0]]));
+        let tape = Tape::new();
+        let bound = ps.bind_subset(&tape, &[w]);
+        // Only one leaf on the tape, and grads flow only into `w`.
+        assert_eq!(tape.len(), 1);
+        let loss = bound.var(w).square().sum_all();
+        let grads = tape.backward(loss);
+        ps.collect_grads(&bound, &grads);
+        assert_eq!(ps.grad(w).row(0), &[4.0, -2.0]);
+        assert_eq!(ps.grad(u).row(0), &[0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of this binding")]
+    fn bind_subset_rejects_unbound_read() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::ones(1, 1));
+        let u = ps.add("u", Matrix::ones(1, 1));
+        let tape = Tape::new();
+        let bound = ps.bind_subset(&tape, &[w]);
+        let _ = bound.var(u);
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate id")]
+    fn bind_subset_rejects_duplicates() {
+        let mut ps = ParamSet::new();
+        let w = ps.add("w", Matrix::ones(1, 1));
+        let tape = Tape::new();
+        let _ = ps.bind_subset(&tape, &[w, w]);
     }
 
     #[test]

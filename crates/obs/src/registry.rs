@@ -46,10 +46,11 @@ impl Histogram {
     /// anyway).
     #[must_use]
     pub fn bucket_index(v: f64) -> usize {
-        if !(v >= 1.0) || !v.is_finite() {
-            return 0;
+        if v.is_finite() && v >= 1.0 {
+            (v.log2() * SUB_BUCKETS as f64).floor() as usize + 1
+        } else {
+            0
         }
-        (v.log2() * SUB_BUCKETS as f64).floor() as usize + 1
     }
 
     /// The `[lower, upper)` boundaries of bucket `i`.

@@ -22,7 +22,7 @@
 //!   contiguous FMA sweep the compiler can auto-vectorise; that is within
 //!   a small factor of hand-tuned kernels at the matrix sizes used here
 //!   (hidden dims ≤ 512).
-//! * Products large enough to amortise thread spawn are row-blocked
+//! * Products large enough to amortise region dispatch are row-blocked
 //!   across the [`pool`] runtime; each worker owns a disjoint block of
 //!   output rows, so results are bit-identical for every thread count
 //!   (see `AMOE_THREADS`).

@@ -15,8 +15,12 @@ use crate::pool;
 use crate::Matrix;
 
 /// Minimum `m * k * n` multiply-add count before a product is worth
-/// fanning out to the pool. Below this the scoped-spawn overhead
-/// (~10–20 µs per region) exceeds the kernel time.
+/// fanning out to the pool. Below this the region dispatch (a condvar
+/// wake of the persistent workers, plus the barrier at region end)
+/// exceeds the kernel time. The threshold predates the persistent
+/// pool's much cheaper dispatch and is deliberately kept: tiny
+/// products gain nothing from extra lanes either way, and the serial
+/// path is branch-predictable.
 pub const PAR_FLOP_THRESHOLD: usize = 1 << 17;
 
 /// True when a product of this shape should use the parallel path.

@@ -5,6 +5,14 @@ use crate::Matrix;
 /// Indices of the `k` largest values in `row`, in descending value order.
 /// Ties are broken by smaller index first (deterministic).
 ///
+/// Uses partial selection (`select_nth_unstable_by` to split off the
+/// winning `k`, then a sort of that prefix only), so the gate hot path
+/// pays `O(n + k log k)` per row instead of a full `O(n log n)` sort.
+/// The comparator is a strict total order (descending value, ties by
+/// ascending index), so the output is *identical* to fully sorting the
+/// row and truncating — the partial and full algorithms cannot disagree
+/// on membership or order.
+///
 /// # Panics
 /// Panics if `k == 0`, `k > row.len()`, or the row contains NaN.
 #[must_use]
@@ -14,14 +22,18 @@ pub fn top_k_indices(row: &[f32], k: usize) -> Vec<usize> {
         "top_k_indices: k={k} out of range for row of {}",
         row.len()
     );
-    let mut idx: Vec<usize> = (0..row.len()).collect();
-    idx.sort_by(|&a, &b| {
+    let cmp = |&a: &usize, &b: &usize| {
         row[b]
             .partial_cmp(&row[a])
             .expect("top_k_indices: NaN in row")
             .then(a.cmp(&b))
-    });
-    idx.truncate(k);
+    };
+    let mut idx: Vec<usize> = (0..row.len()).collect();
+    if k < idx.len() {
+        idx.select_nth_unstable_by(k - 1, cmp);
+        idx.truncate(k);
+    }
+    idx.sort_unstable_by(cmp);
     idx
 }
 
@@ -85,6 +97,75 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn k_zero_panics() {
         let _ = top_k_indices(&[1.0], 0);
+    }
+
+    /// The pre-optimisation implementation: full sort, then truncate.
+    /// Kept as the test oracle for the partial-selection fast path.
+    fn top_k_indices_full_sort(row: &[f32], k: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| {
+            row[b]
+                .partial_cmp(&row[a])
+                .expect("top_k_indices: NaN in row")
+                .then(a.cmp(&b))
+        });
+        idx.truncate(k);
+        idx
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort() {
+        // Pseudo-random rows (LCG; no external crates) across lengths
+        // and k values, plus heavy ties — membership AND order must
+        // match the old full-sort implementation exactly.
+        let mut state = 0x2545_f491_4f6c_dd1du64;
+        let mut next = move || {
+            state = state
+                .wrapping_mul(6_364_136_223_846_793_005)
+                .wrapping_add(1);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 0.5
+        };
+        for len in [1usize, 2, 3, 7, 16, 64] {
+            for trial in 0..20 {
+                let row: Vec<f32> = (0..len)
+                    .map(|_| {
+                        let v = next();
+                        // Every third trial quantises hard to force ties.
+                        if trial % 3 == 0 {
+                            (v * 4.0).round() / 4.0
+                        } else {
+                            v
+                        }
+                    })
+                    .collect();
+                for k in 1..=len {
+                    assert_eq!(
+                        top_k_indices(&row, k),
+                        top_k_indices_full_sort(&row, k),
+                        "len={len} k={k} row={row:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partial_selection_matches_full_sort_on_all_equal() {
+        let row = [1.5f32; 9];
+        for k in 1..=9 {
+            assert_eq!(
+                top_k_indices(&row, k),
+                top_k_indices_full_sort(&row, k),
+                "k={k}"
+            );
+            assert_eq!(top_k_indices(&row, k), (0..k).collect::<Vec<_>>());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN in row")]
+    fn nan_still_panics_with_partial_selection() {
+        let _ = top_k_indices(&[1.0, f32::NAN, 2.0, 0.5], 2);
     }
 
     #[test]

@@ -4,8 +4,9 @@
 # Everything here must pass with no network access: the workspace has
 # zero external dependencies and Cargo.lock is committed. Usage:
 #
-#   scripts/ci.sh            # full gate
-#   SKIP_FMT=1 scripts/ci.sh # skip the format check (e.g. no rustfmt)
+#   scripts/ci.sh               # full gate
+#   SKIP_FMT=1 scripts/ci.sh    # skip the format check (e.g. no rustfmt)
+#   SKIP_CLIPPY=1 scripts/ci.sh # skip the lint gate (e.g. no clippy)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -21,6 +22,11 @@ fi
 if [[ -z "${SKIP_FMT:-}" ]]; then
   step "cargo fmt --check"
   cargo fmt --all --check
+fi
+
+if [[ -z "${SKIP_CLIPPY:-}" ]]; then
+  step "cargo clippy --workspace -- -D warnings"
+  cargo clippy --offline --workspace --all-targets -- -D warnings
 fi
 
 step "cargo build --release --offline"

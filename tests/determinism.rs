@@ -85,6 +85,43 @@ fn eval_report_and_serving_logits_identical_across_thread_counts() {
 }
 
 #[test]
+fn train_step_losses_identical_across_thread_counts() {
+    // The split-graph training path fans per-expert forwards/backwards
+    // across the pool; every loss component must still be bit-identical
+    // for every thread budget, step by step.
+    let d = generate(&GeneratorConfig::tiny(49));
+    let batch = Batch::from_split(&d.train, &(0..96.min(d.train.len())).collect::<Vec<_>>());
+    let sweep = |threads: usize| -> Vec<[f32; 5]> {
+        pool::set_threads(threads);
+        let mut model = MoeModel::new(
+            &d.meta,
+            MoeConfig {
+                n_experts: 8,
+                top_k: 2,
+                ..MoeConfig::adv_hsc_moe()
+            },
+            OptimConfig::default(),
+        );
+        (0..6)
+            .map(|_| {
+                let s = model.train_step(&batch);
+                [s.loss, s.ce, s.hsc, s.adv, s.load_balance]
+            })
+            .collect()
+    };
+    let reference = sweep(1);
+    assert!(reference.iter().flatten().all(|v| v.is_finite()));
+    for threads in [2usize, 4, 8] {
+        assert_eq!(
+            sweep(threads),
+            reference,
+            "train_step losses diverged at {threads} threads"
+        );
+    }
+    pool::clear_threads_override();
+}
+
+#[test]
 fn repeated_runs_same_seed_identical() {
     // Control: two identical runs under the same (default) thread budget
     // must agree bit-for-bit — rules out hidden global state.
