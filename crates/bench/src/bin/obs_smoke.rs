@@ -13,38 +13,15 @@
 use std::path::Path;
 use std::process::exit;
 
+use amoe_bench::obs_check;
 use amoe_core::ranker::OptimConfig;
 use amoe_core::serving::ServingMoe;
 use amoe_core::{MoeConfig, MoeModel, TrainConfig, Trainer};
 use amoe_dataset::{generate, Batch, GeneratorConfig};
-use amoe_obs::json::{parse, Value};
 
 fn fail(msg: &str) -> ! {
     eprintln!("obs_smoke: FAIL: {msg}");
     exit(1);
-}
-
-/// Recursively asserts that every number in `v` is finite. The JSON
-/// writer maps non-finite floats to `null`, so also reject `null`:
-/// a well-formed record never needs it.
-fn assert_finite(v: &Value, context: &str) {
-    match v {
-        Value::Null => fail(&format!(
-            "{context}: null value (non-finite number emitted?)"
-        )),
-        Value::Num(n) if !n.is_finite() => fail(&format!("{context}: non-finite number")),
-        Value::Arr(items) => items.iter().for_each(|i| assert_finite(i, context)),
-        Value::Obj(map) => map.values().for_each(|i| assert_finite(i, context)),
-        _ => {}
-    }
-}
-
-fn require_fields(record: &Value, kind: &str, fields: &[&str]) {
-    for f in fields {
-        if record.get(f).is_none() {
-            fail(&format!("{kind} record is missing field '{f}'"));
-        }
-    }
 }
 
 fn main() {
@@ -83,22 +60,11 @@ fn main() {
     // Validate the run log.
     let body = std::fs::read_to_string(&path)
         .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
-    let mut kinds: Vec<String> = Vec::new();
-    for (lineno, line) in body.lines().enumerate() {
-        let record = parse(line)
-            .unwrap_or_else(|e| fail(&format!("line {}: invalid JSON: {e}", lineno + 1)));
-        let kind = record
-            .get("event")
-            .and_then(Value::as_str)
-            .unwrap_or_else(|| fail(&format!("line {}: missing 'event'", lineno + 1)))
-            .to_string();
-        if record.get("ts").and_then(Value::as_f64).is_none() {
-            fail(&format!("line {}: missing 'ts'", lineno + 1));
-        }
-        assert_finite(&record, &format!("line {} ({kind})", lineno + 1));
-        match kind.as_str() {
-            "train_epoch" => require_fields(
-                &record,
+    let records = obs_check::validate_jsonl(&body).unwrap_or_else(|e| fail(&e));
+    for r in &records {
+        let checked = match r.kind.as_str() {
+            "train_epoch" => obs_check::require_fields(
+                &r.value,
                 "train_epoch",
                 &[
                     "model",
@@ -112,8 +78,8 @@ fn main() {
                     "dispatch",
                 ],
             ),
-            "serving_predict" => require_fields(
-                &record,
+            "serving_predict" => obs_check::require_fields(
+                &r.value,
                 "serving_predict",
                 &[
                     "examples",
@@ -125,19 +91,22 @@ fn main() {
                     "dispatch",
                 ],
             ),
-            _ => {}
-        }
-        kinds.push(kind);
+            _ => Ok(()),
+        };
+        checked.unwrap_or_else(|e| fail(&e));
     }
     for expected in ["train_epoch", "serving_predict", "metrics_snapshot"] {
-        if !kinds.iter().any(|k| k == expected) {
+        if !records.iter().any(|r| r.kind == expected) {
             fail(&format!("no {expected} record in {path}"));
         }
     }
     println!(
         "obs_smoke: OK — {} records ({} train_epoch, {} serving_predict) validated in {path}",
-        kinds.len(),
-        kinds.iter().filter(|k| *k == "train_epoch").count(),
-        kinds.iter().filter(|k| *k == "serving_predict").count(),
+        records.len(),
+        records.iter().filter(|r| r.kind == "train_epoch").count(),
+        records
+            .iter()
+            .filter(|r| r.kind == "serving_predict")
+            .count(),
     );
 }

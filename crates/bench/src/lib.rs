@@ -12,6 +12,7 @@
 //! --quiet           suppress progress logs
 //! ```
 
+pub mod obs_check;
 pub mod timing;
 
 use amoe_experiments::SuiteConfig;

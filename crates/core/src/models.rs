@@ -114,6 +114,33 @@ impl MoeModel {
         }
     }
 
+    /// Builds an inference-ready model from checkpointed weights: the
+    /// structure comes from `(meta, config)`, the values from `params`
+    /// (by name — extra tensors in `params` are ignored, missing or
+    /// mis-shaped ones are a typed [`amoe_nn::LoadError::Mismatch`]).
+    ///
+    /// This is the one constructor shared by the trainer's export path
+    /// (save `model.params()`, reload for analysis/fine-tuning) and the
+    /// `amoe-serve` hot-swap path (`RELOAD <ckpt>` builds the new model
+    /// off the serving thread, then an `Arc` swap publishes it).
+    /// Construction touches only `(meta, config)`-sized state — no
+    /// dataset, no training history — so a reload is milliseconds even
+    /// when the original trainer process is long gone.
+    ///
+    /// # Panics
+    /// Panics if `config` is inconsistent with `meta` (same contract as
+    /// [`MoeModel::new`]); file-shaped problems are returned as errors.
+    pub fn from_params(
+        meta: &DatasetMeta,
+        config: MoeConfig,
+        optim: OptimConfig,
+        params: &ParamSet,
+    ) -> Result<Self, amoe_nn::LoadError> {
+        let mut model = Self::new(meta, config, optim);
+        model.params.load_values_from(params)?;
+        Ok(model)
+    }
+
     /// The model's configuration.
     #[must_use]
     pub fn config(&self) -> &MoeConfig {
@@ -862,6 +889,38 @@ mod tests {
             s = model.train_step(&batch);
         }
         assert!(s.adv > 0.0, "adv component stayed zero: {s:?}");
+    }
+
+    #[test]
+    fn from_params_round_trips_predictions() {
+        let d = data();
+        let mut model = MoeModel::new(&d.meta, small_cfg(), OptimConfig::default());
+        let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+        for _ in 0..5 {
+            model.train_step(&batch);
+        }
+        // Rebuild from the exported weights with a *different* seed:
+        // the checkpoint values must fully determine the predictions.
+        let cfg = MoeConfig {
+            seed: 999,
+            ..small_cfg()
+        };
+        let restored =
+            MoeModel::from_params(&d.meta, cfg, OptimConfig::default(), model.params()).unwrap();
+        assert_eq!(model.predict(&batch), restored.predict(&batch));
+    }
+
+    #[test]
+    fn from_params_rejects_foreign_checkpoint() {
+        let d = data();
+        let small = MoeModel::new(&d.meta, small_cfg(), OptimConfig::default());
+        // A config with more experts needs tensors the checkpoint lacks.
+        let bigger = MoeConfig {
+            n_experts: 8,
+            ..small_cfg()
+        };
+        let err = MoeModel::from_params(&d.meta, bigger, OptimConfig::default(), small.params());
+        assert!(matches!(err, Err(amoe_nn::LoadError::Mismatch(_))));
     }
 
     #[test]

@@ -157,6 +157,40 @@ impl<'m> ServingMoe<'m> {
         self.predict_logits_with_stats(batch).0
     }
 
+    /// Scores several independent requests in **one** model call and
+    /// scatters the results back per request — the micro-batching
+    /// primitive behind `amoe-serve`.
+    ///
+    /// The coalesced call is bit-identical to predicting each part on
+    /// its own: every stage of the sparse path treats rows
+    /// independently (per-row top-K gating, row-blocked matmuls whose
+    /// per-row accumulation order is shape-invariant, and a scatter
+    /// that only ever accumulates into a row's own slot in fixed expert
+    /// order). The loopback parity test in `tests/serve_loopback.rs`
+    /// asserts this end-to-end over TCP for several thread budgets.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty (batches are never empty by
+    /// construction).
+    #[must_use]
+    pub fn predict_many(&self, parts: &[&Batch]) -> Vec<Vec<f32>> {
+        assert!(!parts.is_empty(), "predict_many: no request parts");
+        let merged;
+        let scores = if parts.len() == 1 {
+            self.predict(parts[0])
+        } else {
+            merged = Batch::concat(parts);
+            self.predict(&merged)
+        };
+        let mut out = Vec::with_capacity(parts.len());
+        let mut offset = 0;
+        for p in parts {
+            out.push(scores[offset..offset + p.len()].to_vec());
+            offset += p.len();
+        }
+        out
+    }
+
     /// Raw ensemble logits plus per-call instrumentation.
     #[must_use]
     pub fn predict_logits_with_stats(&self, batch: &Batch) -> (Vec<f32>, Stats) {
@@ -349,6 +383,23 @@ mod tests {
         assert!(stats.active_experts() >= 1);
         assert!(stats.threads >= 1);
         assert!(stats.examples_per_sec() > 0.0);
+    }
+
+    #[test]
+    fn predict_many_is_bit_identical_to_per_request_predict() {
+        let (d, m) = trained_model();
+        let serving = ServingMoe::new(&m);
+        // Mixed-size request parts, including a single-row request.
+        let parts: Vec<Batch> = [&[0usize, 1, 2][..], &[3], &[4, 5, 6, 7, 8], &[9, 10]]
+            .iter()
+            .map(|idx| Batch::from_split(&d.test, idx))
+            .collect();
+        let refs: Vec<&Batch> = parts.iter().collect();
+        let coalesced = serving.predict_many(&refs);
+        assert_eq!(coalesced.len(), parts.len());
+        for (part, scores) in parts.iter().zip(&coalesced) {
+            assert_eq!(scores, &serving.predict(part), "coalesced scores differ");
+        }
     }
 
     #[test]

@@ -80,6 +80,49 @@ impl Batch {
         Self::from_examples(&refs)
     }
 
+    /// Stacks several batches into one, preserving row order
+    /// (`parts[0]`'s rows first, then `parts[1]`'s, …).
+    ///
+    /// This is the micro-batching primitive of the serving stack: the
+    /// `amoe-serve` batcher coalesces concurrently queued requests into
+    /// one model call with `concat`, then scatters the score vector
+    /// back per request. Every model path computes each row
+    /// independently (per-row gating, row-blocked matmuls, per-row
+    /// scatter), so scores for a row are bit-identical whether it is
+    /// predicted alone or inside a coalesced batch.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty or the parts disagree on numeric
+    /// width (batches from one schema always agree).
+    #[must_use]
+    pub fn concat(parts: &[&Batch]) -> Batch {
+        assert!(!parts.is_empty(), "Batch::concat: no parts");
+        let b: usize = parts.iter().map(|p| p.len()).sum();
+        let numeric: Vec<&Matrix> = parts.iter().map(|p| &p.numeric).collect();
+        let labels: Vec<&Matrix> = parts.iter().map(|p| &p.labels).collect();
+        let mut out = Batch {
+            numeric: Matrix::vcat(&numeric),
+            labels: Matrix::vcat(&labels),
+            sc: Vec::with_capacity(b),
+            tc: Vec::with_capacity(b),
+            brand: Vec::with_capacity(b),
+            shop: Vec::with_capacity(b),
+            user_segment: Vec::with_capacity(b),
+            price_bucket: Vec::with_capacity(b),
+            query: Vec::with_capacity(b),
+        };
+        for p in parts {
+            out.sc.extend_from_slice(&p.sc);
+            out.tc.extend_from_slice(&p.tc);
+            out.brand.extend_from_slice(&p.brand);
+            out.shop.extend_from_slice(&p.shop);
+            out.user_segment.extend_from_slice(&p.user_segment);
+            out.price_bucket.extend_from_slice(&p.price_bucket);
+            out.query.extend_from_slice(&p.query);
+        }
+        out
+    }
+
     /// Batch size.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -156,6 +199,26 @@ mod tests {
         assert_eq!(b.numeric.shape(), (4, N_NUMERIC));
         assert_eq!(b.labels.shape(), (4, 1));
         assert!(b.labels.as_slice().iter().all(|&v| v == 0.0 || v == 1.0));
+    }
+
+    #[test]
+    fn concat_preserves_rows_in_order() {
+        let d = generate(&GeneratorConfig::tiny(5));
+        let a = Batch::from_split(&d.train, &[0, 1, 2]);
+        let b = Batch::from_split(&d.train, &[7]);
+        let c = Batch::from_split(&d.train, &[3, 4]);
+        let merged = Batch::concat(&[&a, &b, &c]);
+        assert_eq!(merged.len(), 6);
+        let whole = Batch::from_split(&d.train, &[0, 1, 2, 7, 3, 4]);
+        assert_eq!(merged.numeric, whole.numeric);
+        assert_eq!(merged.labels, whole.labels);
+        assert_eq!(merged.sc, whole.sc);
+        assert_eq!(merged.tc, whole.tc);
+        assert_eq!(merged.brand, whole.brand);
+        assert_eq!(merged.shop, whole.shop);
+        assert_eq!(merged.user_segment, whole.user_segment);
+        assert_eq!(merged.price_bucket, whole.price_bucket);
+        assert_eq!(merged.query, whole.query);
     }
 
     #[test]

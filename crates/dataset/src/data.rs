@@ -58,7 +58,7 @@ pub struct Example {
 
 /// Vocabulary sizes and schema information models need to build their
 /// embedding tables.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct DatasetMeta {
     /// Sub-category vocabulary (= number of SCs).
     pub sc_vocab: usize,

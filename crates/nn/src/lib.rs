@@ -24,4 +24,4 @@ mod serialize;
 pub use init::Init;
 pub use layers::{Activation, Embedding, Linear, Mlp};
 pub use params::{Bound, ParamId, ParamSet};
-pub use serialize::SerializeError;
+pub use serialize::{LoadError, SerializeError};

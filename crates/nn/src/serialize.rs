@@ -14,6 +14,23 @@
 //!
 //! Gradients and optimizer state are not checkpointed; a loaded model is
 //! ready for inference or fresh fine-tuning.
+//!
+//! # Hostile-input hardening
+//!
+//! [`ParamSet::load`] is the trust boundary the serving stack's hot-swap
+//! path crosses (`amoe-serve` reloads whatever file a `RELOAD` control
+//! message names), so every corrupt-file shape maps to a typed
+//! [`LoadError`] instead of a panic or an OOM:
+//!
+//! * wrong magic / unknown version → [`LoadError::BadMagic`] /
+//!   [`LoadError::BadVersion`];
+//! * a tensor header that declares more bytes than the file holds →
+//!   [`LoadError::Truncated`] **before** any allocation, so an
+//!   allocation-bomb header (absurd `rows*cols` in a small file) cannot
+//!   reserve memory beyond the file's own size;
+//! * mid-stream EOF → [`LoadError::Truncated`];
+//! * NaN/Inf weight values → [`LoadError::NonFinite`] naming the tensor
+//!   (a non-finite weight would silently poison every downstream score).
 
 use std::fs::File;
 use std::io::{self, BufReader, BufWriter, Read, Write};
@@ -26,44 +43,64 @@ use crate::ParamSet;
 const MAGIC: &[u8; 4] = b"AMOE";
 const VERSION: u32 = 1;
 
-/// Errors raised while reading a checkpoint.
+/// Errors raised while reading or writing a checkpoint.
 #[derive(Debug)]
-pub enum SerializeError {
+pub enum LoadError {
     /// Underlying I/O failure.
     Io(io::Error),
     /// Bad magic bytes — not a checkpoint file.
     BadMagic,
     /// File written by an unknown format version.
     BadVersion(u32),
+    /// The file ends before the data its headers declare.
+    Truncated,
     /// A tensor header or name failed validation.
     Corrupt(String),
+    /// A tensor contains NaN or infinite values (names the tensor).
+    NonFinite(String),
     /// Loaded tensors don't match the receiving parameter set.
     Mismatch(String),
 }
 
-impl std::fmt::Display for SerializeError {
+/// Former name of [`LoadError`], kept for existing callers.
+pub type SerializeError = LoadError;
+
+impl std::fmt::Display for LoadError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            SerializeError::Io(e) => write!(f, "i/o error: {e}"),
-            SerializeError::BadMagic => write!(f, "not an AMOE checkpoint (bad magic)"),
-            SerializeError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
-            SerializeError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
-            SerializeError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
+            LoadError::Io(e) => write!(f, "i/o error: {e}"),
+            LoadError::BadMagic => write!(f, "not an AMOE checkpoint (bad magic)"),
+            LoadError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            LoadError::Truncated => write!(
+                f,
+                "truncated checkpoint (file shorter than headers declare)"
+            ),
+            LoadError::Corrupt(m) => write!(f, "corrupt checkpoint: {m}"),
+            LoadError::NonFinite(name) => {
+                write!(f, "checkpoint tensor {name:?} contains non-finite values")
+            }
+            LoadError::Mismatch(m) => write!(f, "checkpoint mismatch: {m}"),
         }
     }
 }
 
-impl std::error::Error for SerializeError {}
+impl std::error::Error for LoadError {}
 
-impl From<io::Error> for SerializeError {
+impl From<io::Error> for LoadError {
     fn from(e: io::Error) -> Self {
-        SerializeError::Io(e)
+        // A short read is a structural property of the file, not a
+        // transient I/O condition — surface it as the typed variant.
+        if e.kind() == io::ErrorKind::UnexpectedEof {
+            LoadError::Truncated
+        } else {
+            LoadError::Io(e)
+        }
     }
 }
 
 impl ParamSet {
     /// Writes all parameter values to `path`.
-    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SerializeError> {
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), LoadError> {
         let mut w = BufWriter::new(File::create(path)?);
         w.write_all(MAGIC)?;
         w.write_all(&VERSION.to_le_bytes())?;
@@ -83,48 +120,82 @@ impl ParamSet {
     }
 
     /// Reads a checkpoint into a fresh set (names and shapes come from
-    /// the file).
-    pub fn load(path: impl AsRef<Path>) -> Result<ParamSet, SerializeError> {
-        let mut r = BufReader::new(File::open(path)?);
+    /// the file). See the module docs for the corrupt-file contract.
+    pub fn load(path: impl AsRef<Path>) -> Result<ParamSet, LoadError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        let mut r = BufReader::new(file);
+        // Bytes of payload the file can still supply; every header read
+        // debits it so a tensor's declared size can be checked against
+        // what is actually left *before* allocating for it.
+        let mut remaining = file_len;
+        let mut debit = |n: u64| -> Result<(), LoadError> {
+            if n > remaining {
+                return Err(LoadError::Truncated);
+            }
+            remaining -= n;
+            Ok(())
+        };
+
         let mut magic = [0u8; 4];
+        debit(4)?;
         r.read_exact(&mut magic)?;
         if &magic != MAGIC {
-            return Err(SerializeError::BadMagic);
+            return Err(LoadError::BadMagic);
         }
+        debit(4)?;
         let version = read_u32(&mut r)?;
         if version != VERSION {
-            return Err(SerializeError::BadVersion(version));
+            return Err(LoadError::BadVersion(version));
         }
+        debit(4)?;
         let count = read_u32(&mut r)? as usize;
         if count > 1_000_000 {
-            return Err(SerializeError::Corrupt(format!(
+            return Err(LoadError::Corrupt(format!(
                 "implausible tensor count {count}"
             )));
         }
         let mut ps = ParamSet::new();
         for _ in 0..count {
+            debit(4)?;
             let name_len = read_u32(&mut r)? as usize;
             if name_len > 4096 {
-                return Err(SerializeError::Corrupt(format!(
+                return Err(LoadError::Corrupt(format!(
                     "implausible name length {name_len}"
                 )));
             }
+            debit(name_len as u64)?;
             let mut name = vec![0u8; name_len];
             r.read_exact(&mut name)?;
             let name = String::from_utf8(name)
-                .map_err(|_| SerializeError::Corrupt("non-UTF8 tensor name".into()))?;
+                .map_err(|_| LoadError::Corrupt("non-UTF8 tensor name".into()))?;
+            debit(8)?;
             let rows = read_u32(&mut r)? as usize;
             let cols = read_u32(&mut r)? as usize;
             if rows == 0 || cols == 0 || rows.saturating_mul(cols) > 500_000_000 {
-                return Err(SerializeError::Corrupt(format!(
+                return Err(LoadError::Corrupt(format!(
                     "implausible shape {rows}x{cols} for {name:?}"
                 )));
             }
-            let mut data = vec![0f32; rows * cols];
-            let mut buf = [0u8; 4];
-            for v in &mut data {
-                r.read_exact(&mut buf)?;
-                *v = f32::from_le_bytes(buf);
+            let total = rows * cols;
+            // Allocation-bomb guard: refuse before reserving anything if
+            // the file cannot possibly hold this tensor's data.
+            debit(total as u64 * 4)?;
+            let mut data = Vec::with_capacity(total);
+            let mut buf = [0u8; 4096 * 4];
+            let mut left = total;
+            while left > 0 {
+                let take = left.min(4096);
+                let bytes = &mut buf[..take * 4];
+                r.read_exact(bytes)?;
+                for chunk in bytes.chunks_exact(4) {
+                    let v = f32::from_le_bytes(chunk.try_into().expect("4-byte chunk"));
+                    if !v.is_finite() {
+                        return Err(LoadError::NonFinite(name));
+                    }
+                    data.push(v);
+                }
+                left -= take;
             }
             ps.add(name, Matrix::from_vec(rows, cols, data));
         }
@@ -134,15 +205,15 @@ impl ParamSet {
     /// Copies values from another set into `self`, matching by name.
     /// Every parameter of `self` must be present in `other` with the same
     /// shape (extra tensors in `other` are ignored).
-    pub fn load_values_from(&mut self, other: &ParamSet) -> Result<(), SerializeError> {
+    pub fn load_values_from(&mut self, other: &ParamSet) -> Result<(), LoadError> {
         for e in &mut self.entries {
             let src = other
                 .entries
                 .iter()
                 .find(|o| o.name == e.name)
-                .ok_or_else(|| SerializeError::Mismatch(format!("missing tensor {:?}", e.name)))?;
+                .ok_or_else(|| LoadError::Mismatch(format!("missing tensor {:?}", e.name)))?;
             if src.value.shape() != e.value.shape() {
-                return Err(SerializeError::Mismatch(format!(
+                return Err(LoadError::Mismatch(format!(
                     "tensor {:?} has shape {:?}, expected {:?}",
                     e.name,
                     src.value.shape(),
@@ -155,7 +226,7 @@ impl ParamSet {
     }
 }
 
-fn read_u32(r: &mut impl Read) -> Result<u32, SerializeError> {
+fn read_u32(r: &mut impl Read) -> Result<u32, LoadError> {
     let mut buf = [0u8; 4];
     r.read_exact(&mut buf)?;
     Ok(u32::from_le_bytes(buf))
@@ -200,7 +271,20 @@ mod tests {
         std::fs::write(&path, b"NOPE....").unwrap();
         let err = ParamSet::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(matches!(err, SerializeError::BadMagic));
+        assert!(matches!(err, LoadError::BadMagic));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let path = tmp("badversion");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&99u32.to_le_bytes());
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, LoadError::BadVersion(99)));
     }
 
     #[test]
@@ -214,7 +298,100 @@ mod tests {
         std::fs::write(&path, &bytes[..bytes.len() - 7]).unwrap();
         let err = ParamSet::load(&path).unwrap_err();
         std::fs::remove_file(&path).ok();
-        assert!(matches!(err, SerializeError::Io(_)));
+        assert!(matches!(err, LoadError::Truncated), "got {err:?}");
+    }
+
+    #[test]
+    fn truncated_header_rejected() {
+        // Cut inside the per-tensor header (after the name, before cols).
+        let path = tmp("trunc_header");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one tensor
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name_len
+        bytes.push(b'w');
+        bytes.extend_from_slice(&2u32.to_le_bytes()); // rows, then EOF
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, LoadError::Truncated), "got {err:?}");
+    }
+
+    #[test]
+    fn allocation_bomb_header_rejected_before_allocating() {
+        // A tiny file whose tensor header declares ~1.6 GB of weight
+        // data. The loader must refuse from the file-size check alone —
+        // if it tried to allocate first, this test would OOM the runner.
+        let path = tmp("allocbomb");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // one tensor
+        bytes.extend_from_slice(&1u32.to_le_bytes()); // name_len
+        bytes.push(b'w');
+        bytes.extend_from_slice(&20_000u32.to_le_bytes()); // rows
+        bytes.extend_from_slice(&20_000u32.to_le_bytes()); // cols
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, LoadError::Truncated), "got {err:?}");
+    }
+
+    #[test]
+    fn implausible_shape_rejected() {
+        // rows*cols over the hard cap is Corrupt even if a (hypothetical)
+        // file were large enough.
+        let path = tmp("absurdshape");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'w');
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        bytes.extend_from_slice(&u32::MAX.to_le_bytes()); // cols
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, LoadError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn zero_dim_shape_rejected() {
+        let path = tmp("zerodim");
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(MAGIC);
+        bytes.extend_from_slice(&VERSION.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.extend_from_slice(&1u32.to_le_bytes());
+        bytes.push(b'w');
+        bytes.extend_from_slice(&0u32.to_le_bytes());
+        bytes.extend_from_slice(&4u32.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, LoadError::Corrupt(_)), "got {err:?}");
+    }
+
+    #[test]
+    fn non_finite_values_rejected_with_tensor_name() {
+        let mut ps = ParamSet::new();
+        ps.add("fine", Matrix::ones(2, 2));
+        ps.add("bad.w", Matrix::ones(1, 3));
+        let path = tmp("nonfinite");
+        ps.save(&path).unwrap();
+        // Corrupt one value of the second tensor in place with NaN.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let n = bytes.len();
+        bytes[n - 4..].copy_from_slice(&f32::NAN.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        let err = ParamSet::load(&path).unwrap_err();
+        std::fs::remove_file(&path).ok();
+        match err {
+            LoadError::NonFinite(name) => assert_eq!(name, "bad.w"),
+            other => panic!("expected NonFinite, got {other:?}"),
+        }
     }
 
     #[test]
@@ -240,7 +417,7 @@ mod tests {
         dst.add("y", Matrix::zeros(1, 3));
         assert!(matches!(
             dst.load_values_from(&src),
-            Err(SerializeError::Mismatch(_))
+            Err(LoadError::Mismatch(_))
         ));
     }
 }

@@ -45,7 +45,9 @@ pub mod registry;
 pub mod sink;
 pub mod span;
 
-pub use registry::{counter_add, gauge_set, histogram_record, snapshot, Snapshot};
+pub use registry::{
+    counter_add, counter_value, gauge_set, gauge_value, histogram_record, snapshot, Snapshot,
+};
 pub use sink::{emit, emit_metrics_snapshot, Event};
 pub use span::{timed, Span};
 

@@ -195,6 +195,23 @@ pub fn histogram_record(name: &'static str, v: f64) {
     with_inner(|r| r.histograms.entry(name).or_default().record(v));
 }
 
+/// Reads one counter's current value (`0` when never recorded). Works
+/// even while telemetry is disabled, so a run can be inspected after
+/// `set_enabled(false)`. Intended for tests and embedders (e.g. the
+/// serving stack's overload accounting); hot paths should record, not
+/// read.
+#[must_use]
+pub fn counter_value(name: &str) -> u64 {
+    with_inner(|r| r.counters.get(name).copied().unwrap_or(0))
+}
+
+/// Reads one gauge's current value (`None` when never set). Same
+/// contract as [`counter_value`].
+#[must_use]
+pub fn gauge_value(name: &str) -> Option<f64> {
+    with_inner(|r| r.gauges.get(name).copied())
+}
+
 /// A point-in-time copy of every metric.
 #[derive(Clone, Debug, Default)]
 pub struct Snapshot {
@@ -339,6 +356,11 @@ mod tests {
         crate::set_enabled(false);
         assert_eq!(snap.counters.get("test.counter"), Some(&5));
         assert_eq!(snap.gauges.get("test.gauge"), Some(&1.25));
+        // Point readers agree with the snapshot (and work while off).
+        assert_eq!(counter_value("test.counter"), 5);
+        assert_eq!(counter_value("test.never"), 0);
+        assert_eq!(gauge_value("test.gauge"), Some(1.25));
+        assert_eq!(gauge_value("test.never"), None);
         assert!(!snap.gauges.contains_key("test.nan_gauge"));
         assert_eq!(
             snap.histograms.get("test.hist").map(Histogram::count),

@@ -1,0 +1,101 @@
+//! The dynamic micro-batcher: the single queue consumer.
+//!
+//! The batcher blocks for the first queued request, then keeps
+//! admitting more until either `max_batch_rows` rows are collected or
+//! `max_wait` has elapsed since the batch opened. The collected
+//! requests are coalesced with [`amoe_dataset::Batch::concat`] into
+//! **one** `ServingMoe::predict` call, and the score vector is
+//! scattered back to each request's reply channel.
+//!
+//! # Determinism contract
+//!
+//! Coalescing never changes scores: every inference path computes each
+//! row independently (per-row top-K gating, row-blocked matmuls,
+//! per-row scatter in fixed expert order), so a row's score is
+//! bit-identical whether its request was predicted alone or inside any
+//! coalesced batch, at any `AMOE_THREADS` setting. The
+//! `serve_loopback` integration test asserts this end to end.
+
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::Instant;
+
+use amoe_core::serving::ServingMoe;
+use amoe_dataset::Batch;
+
+use crate::server::Shared;
+
+/// One admitted score request waiting for the batcher.
+pub(crate) struct Pending {
+    /// Decoded, validated feature rows.
+    pub batch: Batch,
+    /// Where the handler thread waits for this request's scores.
+    pub reply: mpsc::Sender<Vec<f32>>,
+    /// Admission time, for queue-wait accounting.
+    pub enqueued: Instant,
+}
+
+/// Runs until the queue is closed and drained.
+pub(crate) fn run(shared: &Arc<Shared>) {
+    loop {
+        // Block for the request that opens the next batch. `None`
+        // means the queue is closed and fully drained: shut down.
+        let Some(first) = shared.queue.pop_wait() else {
+            break;
+        };
+        let deadline = Instant::now() + shared.config.max_wait;
+        let mut pending = vec![first];
+        let mut rows = pending[0].batch.len();
+        while rows < shared.config.max_batch_rows {
+            match shared.queue.pop_until(deadline) {
+                Some(p) => {
+                    rows += p.batch.len();
+                    pending.push(p);
+                }
+                None => break,
+            }
+        }
+
+        if let Some(delay) = shared.config.batcher_delay {
+            std::thread::sleep(delay);
+        }
+
+        // Clone the Arc under the lock, predict outside it: a RELOAD
+        // can swap the serving model while this batch still runs on
+        // the old weights (the Arc keeps them alive).
+        let model = Arc::clone(&shared.model.lock().unwrap());
+        let parts: Vec<&Batch> = pending.iter().map(|p| &p.batch).collect();
+        let scores = ServingMoe::new(&model).predict_many(&parts);
+
+        let now = Instant::now();
+        shared.stats.note_batch();
+        if amoe_obs::enabled() {
+            record_batch_telemetry(shared, &pending, rows, now);
+        }
+        for (p, s) in pending.into_iter().zip(scores) {
+            // A handler that hung up (client disconnect) makes send
+            // fail; that request's scores are simply dropped.
+            let _ = p.reply.send(s);
+        }
+    }
+}
+
+fn record_batch_telemetry(shared: &Arc<Shared>, pending: &[Pending], rows: usize, now: Instant) {
+    let mut max_wait_us = 0u64;
+    for p in pending {
+        let wait_us = now.duration_since(p.enqueued).as_micros() as u64;
+        max_wait_us = max_wait_us.max(wait_us);
+        amoe_obs::histogram_record("serve.queue_wait_us", wait_us as f64);
+    }
+    amoe_obs::histogram_record("serve.batch_rows", rows as f64);
+    amoe_obs::histogram_record("serve.batch_requests", pending.len() as f64);
+    amoe_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
+    amoe_obs::counter_add("serve.batches", 1);
+    amoe_obs::emit(
+        &amoe_obs::Event::new("serve_batch")
+            .u64("requests", pending.len() as u64)
+            .u64("rows", rows as u64)
+            .u64("queue_wait_us_max", max_wait_us)
+            .u64("queue_depth", shared.queue.len() as u64),
+    );
+}

@@ -1,0 +1,144 @@
+//! Standalone inference server.
+//!
+//! ```text
+//! amoe-serve demo-export --out DIR [--seed N] [--steps N]
+//!     Train a small model on the synthetic dataset and write
+//!     DIR/model.amoe (weights) + DIR/model.spec (architecture).
+//!
+//! amoe-serve serve --ckpt FILE --spec FILE [--addr HOST:PORT]
+//!                  [--max-batch-rows N] [--max-wait-us N]
+//!                  [--queue-cap N] [--block-ms N]
+//!     Serve the checkpoint over TCP. Prints the bound address on
+//!     stdout, then blocks until a SHUTDOWN request.
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use amoe_core::ranker::OptimConfig;
+use amoe_core::{MoeConfig, MoeModel, Ranker, TowerConfig};
+use amoe_dataset::{generate, Batch, GeneratorConfig};
+use amoe_nn::ParamSet;
+use amoe_serve::{ModelSpec, OverloadPolicy, ServeConfig, Server};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("demo-export") => demo_export(&args[1..]),
+        Some("serve") => serve(&args[1..]),
+        _ => {
+            eprintln!("usage: amoe-serve <demo-export|serve> [options]");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            eprintln!("amoe-serve: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `--key value` option lookup; repeated keys take the last value.
+fn opt(args: &[String], key: &str) -> Result<Option<String>, String> {
+    let mut found = None;
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        if a == key {
+            match it.next() {
+                Some(v) => found = Some(v.clone()),
+                None => return Err(format!("{key} needs a value")),
+            }
+        }
+    }
+    Ok(found)
+}
+
+fn opt_parse<T: std::str::FromStr>(args: &[String], key: &str) -> Result<Option<T>, String> {
+    match opt(args, key)? {
+        Some(v) => v
+            .parse::<T>()
+            .map(Some)
+            .map_err(|_| format!("{key}: cannot parse {v:?}")),
+        None => Ok(None),
+    }
+}
+
+fn demo_export(args: &[String]) -> Result<(), String> {
+    let out = opt(args, "--out")?.ok_or("demo-export: --out DIR is required")?;
+    let seed: u64 = opt_parse(args, "--seed")?.unwrap_or(41);
+    let steps: usize = opt_parse(args, "--steps")?.unwrap_or(20);
+
+    let dataset = generate(&GeneratorConfig::tiny(seed));
+    let config = MoeConfig {
+        n_experts: 6,
+        top_k: 2,
+        tower: TowerConfig {
+            hidden: vec![12, 6],
+        },
+        seed,
+        ..MoeConfig::default()
+    };
+    let mut model = MoeModel::new(&dataset.meta, config.clone(), OptimConfig::default());
+    let n = dataset.train.len().min(256);
+    let batch = Batch::from_split(&dataset.train, &(0..n).collect::<Vec<_>>());
+    for _ in 0..steps {
+        model.train_step(&batch);
+    }
+
+    std::fs::create_dir_all(&out).map_err(|e| format!("create {out}: {e}"))?;
+    let ckpt = format!("{out}/model.amoe");
+    let spec_path = format!("{out}/model.spec");
+    model
+        .params()
+        .save(&ckpt)
+        .map_err(|e| format!("save {ckpt}: {e}"))?;
+    ModelSpec {
+        meta: dataset.meta.clone(),
+        config,
+    }
+    .save(&spec_path)
+    .map_err(|e| format!("save {spec_path}: {e}"))?;
+    println!("{ckpt}");
+    println!("{spec_path}");
+    Ok(())
+}
+
+fn serve(args: &[String]) -> Result<(), String> {
+    let ckpt = opt(args, "--ckpt")?.ok_or("serve: --ckpt FILE is required")?;
+    let spec_path = opt(args, "--spec")?.ok_or("serve: --spec FILE is required")?;
+    let addr = opt(args, "--addr")?.unwrap_or_else(|| "127.0.0.1:0".into());
+
+    let mut config = ServeConfig::default();
+    if let Some(v) = opt_parse::<usize>(args, "--max-batch-rows")? {
+        config.max_batch_rows = v;
+    }
+    if let Some(v) = opt_parse::<u64>(args, "--max-wait-us")? {
+        config.max_wait = Duration::from_micros(v);
+    }
+    if let Some(v) = opt_parse::<usize>(args, "--queue-cap")? {
+        config.queue_cap = v;
+    }
+    if let Some(v) = opt_parse::<u64>(args, "--block-ms")? {
+        config.overload = OverloadPolicy::Block(Duration::from_millis(v));
+    }
+
+    let spec = ModelSpec::load(&spec_path).map_err(|e| format!("load {spec_path}: {e}"))?;
+    let params = ParamSet::load(&ckpt).map_err(|e| format!("load {ckpt}: {e}"))?;
+    let model = MoeModel::from_params(
+        &spec.meta,
+        spec.config.clone(),
+        OptimConfig::default(),
+        &params,
+    )
+    .map_err(|e| format!("checkpoint does not match spec: {e}"))?;
+
+    let server =
+        Server::start(&addr, model, spec.meta, config).map_err(|e| format!("bind {addr}: {e}"))?;
+    // The load generator (and humans) read the bound address from the
+    // first stdout line; ephemeral ports make parallel runs safe.
+    println!("{}", server.local_addr());
+    server.join();
+    Ok(())
+}

@@ -1,0 +1,137 @@
+//! A minimal synchronous client for the amoe-serve protocol.
+
+use std::fmt;
+use std::io;
+use std::net::{TcpStream, ToSocketAddrs};
+
+use crate::protocol::{self, FeatureRow, Request, Response, StatsSnapshot};
+
+/// What a serve call can fail with.
+#[derive(Debug)]
+pub enum ServeError {
+    /// Transport failure.
+    Io(io::Error),
+    /// The server shed the request under load; retry later or
+    /// elsewhere.
+    Overloaded,
+    /// The server answered with an error message (validation, bad
+    /// checkpoint, shutdown in progress, ...).
+    Server(String),
+    /// The peer violated the wire protocol.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Io(e) => write!(f, "i/o error: {e}"),
+            ServeError::Overloaded => write!(f, "server overloaded"),
+            ServeError::Server(m) => write!(f, "server error: {m}"),
+            ServeError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<io::Error> for ServeError {
+    fn from(e: io::Error) -> Self {
+        ServeError::Io(e)
+    }
+}
+
+/// One connection to an amoe-serve server. Requests are synchronous:
+/// each call writes one frame and blocks for the reply. Use one client
+/// per thread for concurrency.
+pub struct Client {
+    stream: TcpStream,
+    next_id: u64,
+}
+
+impl Client {
+    /// Connects and performs the protocol handshake.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        protocol::write_handshake(&mut stream)?;
+        protocol::read_handshake(&mut stream).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        Ok(Client { stream, next_id: 1 })
+    }
+
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        protocol::write_frame(&mut self.stream, &request.encode())?;
+        let payload = protocol::read_frame(&mut self.stream)?;
+        Response::decode(&payload).map_err(|e| ServeError::Protocol(e.to_string()))
+    }
+
+    /// Scores a batch of feature rows; returns one score per row, in
+    /// row order.
+    pub fn score(&mut self, rows: &[FeatureRow]) -> Result<Vec<f32>, ServeError> {
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let resp = self.round_trip(&Request::Score {
+            request_id,
+            rows: rows.to_vec(),
+        })?;
+        match resp {
+            Response::Scores {
+                request_id: echoed,
+                scores,
+            } => {
+                if echoed != request_id {
+                    return Err(ServeError::Protocol(format!(
+                        "response id {echoed} for request {request_id}"
+                    )));
+                }
+                if scores.len() != rows.len() {
+                    return Err(ServeError::Protocol(format!(
+                        "{} scores for {} rows",
+                        scores.len(),
+                        rows.len()
+                    )));
+                }
+                Ok(scores)
+            }
+            Response::Overloaded => Err(ServeError::Overloaded),
+            Response::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the server to hot-swap its weights from a checkpoint path
+    /// on the *server's* filesystem.
+    pub fn reload(&mut self, path: &str) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Reload { path: path.into() })? {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Initiates graceful shutdown: the server drains its queue,
+    /// answers every admitted request, and exits.
+    pub fn shutdown(&mut self) -> Result<(), ServeError> {
+        match self.round_trip(&Request::Shutdown)? {
+            Response::Ok => Ok(()),
+            Response::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Reads the server's counters.
+    pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        match self.round_trip(&Request::Stats)? {
+            Response::Stats(s) => Ok(s),
+            Response::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+}

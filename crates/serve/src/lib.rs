@@ -1,0 +1,47 @@
+#![warn(missing_docs)]
+
+//! Online inference service for the Adv & HSC-MoE ranker.
+//!
+//! The crate is both a library (embed a [`Server`] in tests or a
+//! larger process) and a binary (`amoe-serve`) exposing the service
+//! over TCP. Like the rest of the workspace it uses **no external
+//! dependencies** — the protocol, queue and threading are all std.
+//!
+//! # Architecture
+//!
+//! ```text
+//!  client ──frame──▶ handler thread ──Pending──▶ bounded queue
+//!                        ▲                          │
+//!                        │ scores (mpsc)            ▼ coalesce ≤ max_batch_rows
+//!                        └───────────────── batcher thread ── ServingMoe::predict
+//! ```
+//!
+//! * **Protocol** ([`protocol`]): length-prefixed binary frames over
+//!   TCP; `SCORE`, `RELOAD`, `SHUTDOWN`, `STATS` requests.
+//! * **Micro-batching** ([`batcher`]): concurrently queued requests
+//!   are coalesced into one model call (scores stay bit-identical —
+//!   every model path is row-independent).
+//! * **Backpressure** ([`queue`], [`ServeConfig::overload`]): a full
+//!   admission queue rejects with `OVERLOADED` (or blocks with a
+//!   deadline under [`OverloadPolicy::Block`]).
+//! * **Hot-swap** ([`client::Client::reload`]): `RELOAD <path>` builds
+//!   a fresh model from an `AMOE` checkpoint off the serving path and
+//!   swaps it atomically; in-flight batches finish on the old weights.
+//! * **Graceful drain**: `SHUTDOWN` closes the queue, answers every
+//!   admitted request, then exits.
+//!
+//! All stages are instrumented through `amoe-obs` (queue-depth gauge,
+//! batch-size / queue-wait / latency histograms, `serve_request` and
+//! `serve_batch` JSONL events) when `AMOE_OBS` is set.
+
+pub mod batcher;
+pub mod client;
+pub mod config;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+
+pub use client::{Client, ServeError};
+pub use config::{ModelSpec, OverloadPolicy, ServeConfig};
+pub use protocol::{FeatureRow, StatsSnapshot};
+pub use server::Server;

@@ -1,0 +1,546 @@
+//! Length-prefixed binary wire protocol.
+//!
+//! A connection opens with a fixed 8-byte handshake (magic `AMSV` +
+//! `u32` protocol version, echoed by the server), after which both
+//! sides exchange *frames*: a little-endian `u32` payload length
+//! followed by the payload. The first payload byte is a tag; the rest
+//! is the tag-specific body. All integers are little-endian, all
+//! floats IEEE-754 `f32`/`f64` LE — the same conventions as the
+//! `AMOE` checkpoint format.
+//!
+//! Requests: `SCORE` (feature rows to rank), `RELOAD` (checkpoint
+//! hot-swap), `SHUTDOWN` (drain and exit), `STATS` (counters probe).
+//! Responses: `SCORES`, `OVERLOADED` (admission control rejected the
+//! request), `ERROR` (with message), `OK`, `STATS`.
+//!
+//! The protocol is strictly request/response per connection, so the
+//! `request_id` echoed in `SCORES` is a client-side sanity check, not
+//! a multiplexing key.
+
+use std::io::{self, Read, Write};
+
+/// Handshake magic: "AMSV" (AMoe SerVe).
+pub const MAGIC: [u8; 4] = *b"AMSV";
+/// Wire protocol version.
+pub const VERSION: u32 = 1;
+/// Upper bound on a frame payload; larger lengths are treated as
+/// protocol corruption rather than allocated.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// Request tags.
+pub const TAG_SCORE: u8 = 0x01;
+/// See [`TAG_SCORE`].
+pub const TAG_RELOAD: u8 = 0x02;
+/// See [`TAG_SCORE`].
+pub const TAG_SHUTDOWN: u8 = 0x03;
+/// See [`TAG_SCORE`].
+pub const TAG_STATS: u8 = 0x04;
+
+/// Response tags.
+pub const TAG_SCORES: u8 = 0x81;
+/// See [`TAG_SCORES`].
+pub const TAG_OVERLOADED: u8 = 0x82;
+/// See [`TAG_SCORES`].
+pub const TAG_ERROR: u8 = 0x83;
+/// See [`TAG_SCORES`].
+pub const TAG_OK: u8 = 0x84;
+/// See [`TAG_SCORES`].
+pub const TAG_STATS_REPLY: u8 = 0x85;
+
+/// One example to score: the seven sparse feature ids plus the dense
+/// numeric features, mirroring `amoe_dataset::Example` minus the label.
+#[derive(Clone, Debug, PartialEq)]
+pub struct FeatureRow {
+    /// Query-predicted sub-category id (gate input).
+    pub sc: u32,
+    /// Query-predicted top-category id.
+    pub tc: u32,
+    /// Brand id.
+    pub brand: u32,
+    /// Shop id.
+    pub shop: u32,
+    /// User-segment id.
+    pub user_segment: u32,
+    /// Price-bucket id.
+    pub price_bucket: u32,
+    /// Query id.
+    pub query: u32,
+    /// Dense numeric features (`meta.n_numeric` values).
+    pub numeric: Vec<f32>,
+}
+
+/// A decoded request frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Request {
+    /// Score a batch of feature rows.
+    Score {
+        /// Client-chosen id echoed in the response.
+        request_id: u64,
+        /// Rows to score (at least one; all the same numeric width).
+        rows: Vec<FeatureRow>,
+    },
+    /// Hot-swap the serving weights from a checkpoint on the server's
+    /// filesystem.
+    Reload {
+        /// Checkpoint path as seen by the server process.
+        path: String,
+    },
+    /// Drain the queue, finish in-flight batches, and exit.
+    Shutdown,
+    /// Read the server counters.
+    Stats,
+}
+
+/// A decoded response frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Response {
+    /// Per-row scores for a `Score` request.
+    Scores {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// One sigmoid score per submitted row, in row order.
+        scores: Vec<f32>,
+    },
+    /// The admission queue was full; the request was not scored.
+    Overloaded,
+    /// The request failed; human-readable reason.
+    Error {
+        /// What went wrong.
+        message: String,
+    },
+    /// Acknowledgement for `Reload`/`Shutdown`.
+    Ok,
+    /// Counter snapshot for `Stats`.
+    Stats(StatsSnapshot),
+}
+
+/// Point-in-time server counters (also the body of the `STATS` reply).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct StatsSnapshot {
+    /// Score requests received (before admission control).
+    pub requests: u64,
+    /// Feature rows received across all score requests.
+    pub rows: u64,
+    /// Score requests answered with scores.
+    pub ok: u64,
+    /// Score requests rejected by admission control.
+    pub overloaded: u64,
+    /// Requests answered with `ERROR` (validation or internal).
+    pub errors: u64,
+    /// Model calls made by the batcher.
+    pub batches: u64,
+    /// Successful checkpoint hot-swaps.
+    pub reloads: u64,
+    /// Queue depth at snapshot time.
+    pub queue_depth: u64,
+}
+
+// ---------------------------------------------------------------------
+// Framing
+// ---------------------------------------------------------------------
+
+/// Writes the handshake preamble (both sides send the same bytes).
+pub fn write_handshake(w: &mut impl Write) -> io::Result<()> {
+    let mut wire = [0u8; 8];
+    wire[..4].copy_from_slice(&MAGIC);
+    wire[4..].copy_from_slice(&VERSION.to_le_bytes());
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+/// Reads and validates the peer's handshake preamble.
+pub fn read_handshake(r: &mut impl Read) -> io::Result<()> {
+    let mut magic = [0u8; 4];
+    r.read_exact(&mut magic)?;
+    if magic != MAGIC {
+        return Err(bad_data("bad handshake magic (not an amoe-serve peer)"));
+    }
+    let version = read_u32(r)?;
+    if version != VERSION {
+        return Err(bad_data(format!(
+            "unsupported protocol version {version} (want {VERSION})"
+        )));
+    }
+    Ok(())
+}
+
+/// Writes one length-prefixed frame.
+///
+/// Prefix and payload go out as a single write: two small writes on an
+/// unbuffered socket would interact with Nagle's algorithm and the
+/// peer's delayed ACK, adding ~40 ms to every small frame.
+pub fn write_frame(w: &mut impl Write, payload: &[u8]) -> io::Result<()> {
+    let len = u32::try_from(payload.len()).map_err(|_| bad_data("frame too large"))?;
+    if len > MAX_FRAME_LEN {
+        return Err(bad_data("frame too large"));
+    }
+    let mut wire = Vec::with_capacity(4 + payload.len());
+    wire.extend_from_slice(&len.to_le_bytes());
+    wire.extend_from_slice(payload);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+/// Reads one length-prefixed frame payload.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Vec<u8>> {
+    let len = read_u32(r)?;
+    if len > MAX_FRAME_LEN {
+        return Err(bad_data(format!("frame length {len} exceeds limit")));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+// ---------------------------------------------------------------------
+// Request / response codecs
+// ---------------------------------------------------------------------
+
+impl Request {
+    /// Serialises the request into a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Request::Score { request_id, rows } => {
+                out.push(TAG_SCORE);
+                put_u64(&mut out, *request_id);
+                let n_numeric = rows.first().map_or(0, |r| r.numeric.len());
+                put_u32(&mut out, rows.len() as u32);
+                put_u32(&mut out, n_numeric as u32);
+                for row in rows {
+                    for id in [
+                        row.sc,
+                        row.tc,
+                        row.brand,
+                        row.shop,
+                        row.user_segment,
+                        row.price_bucket,
+                        row.query,
+                    ] {
+                        put_u32(&mut out, id);
+                    }
+                    debug_assert_eq!(row.numeric.len(), n_numeric);
+                    for &v in &row.numeric {
+                        out.extend_from_slice(&v.to_le_bytes());
+                    }
+                }
+            }
+            Request::Reload { path } => {
+                out.push(TAG_RELOAD);
+                put_str(&mut out, path);
+            }
+            Request::Shutdown => out.push(TAG_SHUTDOWN),
+            Request::Stats => out.push(TAG_STATS),
+        }
+        out
+    }
+
+    /// Parses a frame payload into a request.
+    pub fn decode(payload: &[u8]) -> io::Result<Request> {
+        let mut c = Cursor::new(payload);
+        let req = match c.u8()? {
+            TAG_SCORE => {
+                let request_id = c.u64()?;
+                let n_rows = c.u32()? as usize;
+                let n_numeric = c.u32()? as usize;
+                if n_rows == 0 {
+                    return Err(bad_data("score request with zero rows"));
+                }
+                // 7 ids + numeric values, 4 bytes each.
+                let row_bytes = (7 + n_numeric) * 4;
+                if c.remaining() != n_rows * row_bytes {
+                    return Err(bad_data("score request body length mismatch"));
+                }
+                let mut rows = Vec::with_capacity(n_rows);
+                for _ in 0..n_rows {
+                    let mut ids = [0u32; 7];
+                    for id in &mut ids {
+                        *id = c.u32()?;
+                    }
+                    let mut numeric = Vec::with_capacity(n_numeric);
+                    for _ in 0..n_numeric {
+                        numeric.push(c.f32()?);
+                    }
+                    rows.push(FeatureRow {
+                        sc: ids[0],
+                        tc: ids[1],
+                        brand: ids[2],
+                        shop: ids[3],
+                        user_segment: ids[4],
+                        price_bucket: ids[5],
+                        query: ids[6],
+                        numeric,
+                    });
+                }
+                Request::Score { request_id, rows }
+            }
+            TAG_RELOAD => Request::Reload { path: c.str()? },
+            TAG_SHUTDOWN => Request::Shutdown,
+            TAG_STATS => Request::Stats,
+            tag => return Err(bad_data(format!("unknown request tag {tag:#04x}"))),
+        };
+        c.finish()?;
+        Ok(req)
+    }
+}
+
+impl Response {
+    /// Serialises the response into a frame payload.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            Response::Scores { request_id, scores } => {
+                out.push(TAG_SCORES);
+                put_u64(&mut out, *request_id);
+                put_u32(&mut out, scores.len() as u32);
+                for &s in scores {
+                    out.extend_from_slice(&s.to_le_bytes());
+                }
+            }
+            Response::Overloaded => out.push(TAG_OVERLOADED),
+            Response::Error { message } => {
+                out.push(TAG_ERROR);
+                put_str(&mut out, message);
+            }
+            Response::Ok => out.push(TAG_OK),
+            Response::Stats(s) => {
+                out.push(TAG_STATS_REPLY);
+                for v in [
+                    s.requests,
+                    s.rows,
+                    s.ok,
+                    s.overloaded,
+                    s.errors,
+                    s.batches,
+                    s.reloads,
+                    s.queue_depth,
+                ] {
+                    put_u64(&mut out, v);
+                }
+            }
+        }
+        out
+    }
+
+    /// Parses a frame payload into a response.
+    pub fn decode(payload: &[u8]) -> io::Result<Response> {
+        let mut c = Cursor::new(payload);
+        let resp = match c.u8()? {
+            TAG_SCORES => {
+                let request_id = c.u64()?;
+                let n = c.u32()? as usize;
+                if c.remaining() != n * 4 {
+                    return Err(bad_data("scores body length mismatch"));
+                }
+                let mut scores = Vec::with_capacity(n);
+                for _ in 0..n {
+                    scores.push(c.f32()?);
+                }
+                Response::Scores { request_id, scores }
+            }
+            TAG_OVERLOADED => Response::Overloaded,
+            TAG_ERROR => Response::Error { message: c.str()? },
+            TAG_OK => Response::Ok,
+            TAG_STATS_REPLY => Response::Stats(StatsSnapshot {
+                requests: c.u64()?,
+                rows: c.u64()?,
+                ok: c.u64()?,
+                overloaded: c.u64()?,
+                errors: c.u64()?,
+                batches: c.u64()?,
+                reloads: c.u64()?,
+                queue_depth: c.u64()?,
+            }),
+            tag => return Err(bad_data(format!("unknown response tag {tag:#04x}"))),
+        };
+        c.finish()?;
+        Ok(resp)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Little-endian helpers
+// ---------------------------------------------------------------------
+
+fn put_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_str(out: &mut Vec<u8>, s: &str) {
+    put_u32(out, s.len() as u32);
+    out.extend_from_slice(s.as_bytes());
+}
+
+fn read_u32(r: &mut impl Read) -> io::Result<u32> {
+    let mut b = [0u8; 4];
+    r.read_exact(&mut b)?;
+    Ok(u32::from_le_bytes(b))
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+/// Bounds-checked reader over a frame payload.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Cursor { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> io::Result<&'a [u8]> {
+        if self.remaining() < n {
+            return Err(bad_data("truncated frame payload"));
+        }
+        let out = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(out)
+    }
+
+    fn u8(&mut self) -> io::Result<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> io::Result<u32> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> io::Result<u64> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
+    fn f32(&mut self) -> io::Result<f32> {
+        Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn str(&mut self) -> io::Result<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| bad_data("invalid utf-8 in string field"))
+    }
+
+    /// Rejects trailing garbage after a fully decoded message.
+    fn finish(self) -> io::Result<()> {
+        if self.remaining() != 0 {
+            return Err(bad_data("trailing bytes after message"));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(seed: u32) -> FeatureRow {
+        FeatureRow {
+            sc: seed,
+            tc: seed + 1,
+            brand: seed + 2,
+            shop: seed + 3,
+            user_segment: seed + 4,
+            price_bucket: seed + 5,
+            query: seed + 6,
+            numeric: vec![0.5 * seed as f32, -1.25, 3.0],
+        }
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        let cases = vec![
+            Request::Score {
+                request_id: 77,
+                rows: vec![row(0), row(10)],
+            },
+            Request::Reload {
+                path: "/tmp/model.amoe".into(),
+            },
+            Request::Shutdown,
+            Request::Stats,
+        ];
+        for req in cases {
+            let decoded = Request::decode(&req.encode()).expect("decode");
+            assert_eq!(decoded, req);
+        }
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let cases = vec![
+            Response::Scores {
+                request_id: 9,
+                scores: vec![0.25, 0.75, 1.0],
+            },
+            Response::Overloaded,
+            Response::Error {
+                message: "bad id".into(),
+            },
+            Response::Ok,
+            Response::Stats(StatsSnapshot {
+                requests: 1,
+                rows: 2,
+                ok: 3,
+                overloaded: 4,
+                errors: 5,
+                batches: 6,
+                reloads: 7,
+                queue_depth: 8,
+            }),
+        ];
+        for resp in cases {
+            let decoded = Response::decode(&resp.encode()).expect("decode");
+            assert_eq!(decoded, resp);
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_pipe() {
+        let payload = Request::Score {
+            request_id: 1,
+            rows: vec![row(3)],
+        }
+        .encode();
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &payload).unwrap();
+        let mut r = &wire[..];
+        assert_eq!(read_frame(&mut r).unwrap(), payload);
+    }
+
+    #[test]
+    fn handshake_rejects_wrong_magic() {
+        let mut wire = Vec::new();
+        write_handshake(&mut wire).unwrap();
+        wire[0] = b'X';
+        assert!(read_handshake(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut payload = Request::Shutdown.encode();
+        payload.push(0xFF);
+        assert!(Request::decode(&payload).is_err());
+    }
+
+    #[test]
+    fn zero_row_score_rejected() {
+        let mut payload = vec![TAG_SCORE];
+        payload.extend_from_slice(&0u64.to_le_bytes());
+        payload.extend_from_slice(&0u32.to_le_bytes());
+        payload.extend_from_slice(&3u32.to_le_bytes());
+        assert!(Request::decode(&payload).is_err());
+    }
+}

@@ -1,0 +1,233 @@
+//! Bounded MPSC admission queue (`Mutex` + `Condvar`, std only).
+//!
+//! Producers are connection handler threads; the single consumer is
+//! the batcher thread. The queue is the backpressure point of the
+//! service: when it is full, [`RequestQueue::push`] either fails
+//! immediately ([`OverloadPolicy::Reject`]) or blocks with a deadline
+//! ([`OverloadPolicy::Block`]).
+//!
+//! Closing the queue ([`RequestQueue::close`]) starts the drain phase:
+//! pushes fail with [`PushError::Closed`], but pops keep returning the
+//! already-admitted items until the queue is empty — this is what lets
+//! `SHUTDOWN` guarantee that no admitted request is dropped.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::Instant;
+
+use crate::config::OverloadPolicy;
+
+/// Why a push was refused.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue was at capacity (and stayed there past the block
+    /// deadline, if any). The caller should reply `OVERLOADED`.
+    Full,
+    /// The queue is closed (server shutting down).
+    Closed,
+}
+
+struct State<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer single-consumer queue.
+pub struct RequestQueue<T> {
+    state: Mutex<State<T>>,
+    /// Signals consumers when an item arrives or the queue closes.
+    not_empty: Condvar,
+    /// Signals producers when space frees up.
+    not_full: Condvar,
+    cap: usize,
+}
+
+impl<T> RequestQueue<T> {
+    /// Creates a queue holding at most `cap` items.
+    #[must_use]
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "RequestQueue: capacity must be positive");
+        RequestQueue {
+            state: Mutex::new(State {
+                items: VecDeque::with_capacity(cap),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            cap,
+        }
+    }
+
+    /// Current queue depth.
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().items.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Attempts to enqueue an item under the given overload policy.
+    pub fn push(&self, item: T, policy: OverloadPolicy) -> Result<(), PushError> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed);
+        }
+        if st.items.len() >= self.cap {
+            match policy {
+                OverloadPolicy::Reject => return Err(PushError::Full),
+                OverloadPolicy::Block(max_block) => {
+                    let deadline = Instant::now() + max_block;
+                    while st.items.len() >= self.cap && !st.closed {
+                        let now = Instant::now();
+                        if now >= deadline {
+                            return Err(PushError::Full);
+                        }
+                        let (next, timeout) =
+                            self.not_full.wait_timeout(st, deadline - now).unwrap();
+                        st = next;
+                        if timeout.timed_out() && st.items.len() >= self.cap {
+                            return Err(PushError::Full);
+                        }
+                    }
+                    if st.closed {
+                        return Err(PushError::Closed);
+                    }
+                }
+            }
+        }
+        st.items.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until an item is available or the queue is closed *and*
+    /// empty (drain complete), in which case `None` is returned.
+    pub fn pop_wait(&self) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            st = self.not_empty.wait(st).unwrap();
+        }
+    }
+
+    /// Like [`RequestQueue::pop_wait`] but gives up at `deadline`.
+    /// `None` means either the deadline passed with the queue empty or
+    /// the queue is closed and fully drained.
+    pub fn pop_until(&self, deadline: Instant) -> Option<T> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if let Some(item) = st.items.pop_front() {
+                drop(st);
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if st.closed {
+                return None;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            let (next, _timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+            st = next;
+        }
+    }
+
+    /// Closes the queue: future pushes fail, pops drain what remains.
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        drop(st);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// True once [`RequestQueue::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().unwrap().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    #[test]
+    fn reject_policy_fails_fast_when_full() {
+        let q = RequestQueue::new(2);
+        q.push(1, OverloadPolicy::Reject).unwrap();
+        q.push(2, OverloadPolicy::Reject).unwrap();
+        assert_eq!(q.push(3, OverloadPolicy::Reject), Err(PushError::Full));
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn block_policy_times_out_when_nobody_pops() {
+        let q = RequestQueue::new(1);
+        q.push(1, OverloadPolicy::Reject).unwrap();
+        let policy = OverloadPolicy::Block(Duration::from_millis(20));
+        assert_eq!(q.push(2, policy), Err(PushError::Full));
+    }
+
+    #[test]
+    fn block_policy_succeeds_when_space_frees_up() {
+        let q = Arc::new(RequestQueue::new(1));
+        q.push(1, OverloadPolicy::Reject).unwrap();
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || {
+                std::thread::sleep(Duration::from_millis(10));
+                q.pop_wait()
+            })
+        };
+        let policy = OverloadPolicy::Block(Duration::from_secs(5));
+        q.push(2, policy).expect("push should succeed after pop");
+        assert_eq!(consumer.join().unwrap(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+    }
+
+    #[test]
+    fn close_drains_remaining_items_then_returns_none() {
+        let q = RequestQueue::new(4);
+        q.push(1, OverloadPolicy::Reject).unwrap();
+        q.push(2, OverloadPolicy::Reject).unwrap();
+        q.close();
+        assert_eq!(q.push(3, OverloadPolicy::Reject), Err(PushError::Closed));
+        assert_eq!(q.pop_wait(), Some(1));
+        assert_eq!(q.pop_wait(), Some(2));
+        assert_eq!(q.pop_wait(), None);
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let q = Arc::new(RequestQueue::<u32>::new(1));
+        let consumer = {
+            let q = Arc::clone(&q);
+            std::thread::spawn(move || q.pop_wait())
+        };
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn pop_until_respects_deadline() {
+        let q = RequestQueue::<u32>::new(1);
+        let t0 = Instant::now();
+        let got = q.pop_until(t0 + Duration::from_millis(15));
+        assert_eq!(got, None);
+        assert!(t0.elapsed() >= Duration::from_millis(10));
+    }
+}

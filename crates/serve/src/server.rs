@@ -1,0 +1,521 @@
+//! The TCP server: accept loop, per-connection handlers, admission
+//! control, checkpoint hot-swap and graceful drain.
+
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{mpsc, Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Instant;
+
+use amoe_core::ranker::OptimConfig;
+use amoe_core::{GateInput, MoeConfig, MoeModel};
+use amoe_dataset::{Batch, DatasetMeta};
+use amoe_nn::ParamSet;
+use amoe_tensor::Matrix;
+
+use crate::batcher::{self, Pending};
+use crate::config::ServeConfig;
+use crate::protocol::{self, FeatureRow, Request, Response, StatsSnapshot};
+use crate::queue::{PushError, RequestQueue};
+
+/// Monotonic service counters, updated lock-free by handler threads
+/// and the batcher.
+#[derive(Default)]
+pub struct ServerStats {
+    requests: AtomicU64,
+    rows: AtomicU64,
+    ok: AtomicU64,
+    overloaded: AtomicU64,
+    errors: AtomicU64,
+    batches: AtomicU64,
+    reloads: AtomicU64,
+}
+
+impl ServerStats {
+    pub(crate) fn note_batch(&self) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+        StatsSnapshot {
+            requests: self.requests.load(Ordering::Relaxed),
+            rows: self.rows.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            overloaded: self.overloaded.load(Ordering::Relaxed),
+            errors: self.errors.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
+        }
+    }
+}
+
+/// State shared by the accept loop, handler threads and the batcher.
+pub(crate) struct Shared {
+    /// The serving weights. Handlers swap the `Arc` on RELOAD; the
+    /// batcher clones it per batch, so in-flight batches finish on
+    /// the model they started with.
+    pub model: Mutex<Arc<MoeModel>>,
+    /// Schema the server validates incoming ids against.
+    pub meta: DatasetMeta,
+    /// Architecture used to rebuild models on RELOAD.
+    pub model_config: MoeConfig,
+    /// Admission queue feeding the batcher.
+    pub queue: RequestQueue<Pending>,
+    /// Tuning knobs.
+    pub config: ServeConfig,
+    /// Set once SHUTDOWN is received.
+    pub shutdown: AtomicBool,
+    /// Service counters.
+    pub stats: ServerStats,
+    /// Read-half handles of every accepted connection, so shutdown can
+    /// unblock handler threads parked in `read_frame` on idle
+    /// connections (their write halves stay open for in-flight
+    /// replies).
+    pub conns: Mutex<Vec<TcpStream>>,
+}
+
+/// A running inference service.
+///
+/// Dropping the handle does **not** stop the server; send `SHUTDOWN`
+/// (e.g. via [`crate::client::Client::shutdown`]) and then
+/// [`Server::join`].
+pub struct Server {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept_thread: Option<JoinHandle<()>>,
+    batcher_thread: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts the
+    /// accept loop and batcher thread.
+    ///
+    /// # Errors
+    /// Fails on bind errors or when the model's gate input is not
+    /// `GateInput::Sc` (the only configuration the sparse serving
+    /// path supports).
+    pub fn start(
+        addr: impl ToSocketAddrs,
+        model: MoeModel,
+        meta: DatasetMeta,
+        config: ServeConfig,
+    ) -> io::Result<Server> {
+        config.validate();
+        if model.config().gate_input != GateInput::Sc {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "serving supports GateInput::Sc only",
+            ));
+        }
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            model_config: model.config().clone(),
+            model: Mutex::new(Arc::new(model)),
+            meta,
+            queue: RequestQueue::new(config.queue_cap),
+            config,
+            shutdown: AtomicBool::new(false),
+            stats: ServerStats::default(),
+            conns: Mutex::new(Vec::new()),
+        });
+
+        let batcher_thread = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("amoe-serve-batcher".into())
+                .spawn(move || batcher::run(&shared))?
+        };
+        let accept_thread = {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name("amoe-serve-accept".into())
+                .spawn(move || accept_loop(&listener, &shared))?
+        };
+        Ok(Server {
+            addr: local,
+            shared,
+            accept_thread: Some(accept_thread),
+            batcher_thread: Some(batcher_thread),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current service counters.
+    #[must_use]
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot(self.shared.queue.len())
+    }
+
+    /// Blocks until the server has shut down (all connections
+    /// answered, queue drained, threads exited). Only returns after a
+    /// `SHUTDOWN` request.
+    pub fn join(mut self) {
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+        if let Some(t) = self.batcher_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    let mut handlers: Vec<JoinHandle<()>> = Vec::new();
+    for stream in listener.incoming() {
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        match stream {
+            Ok(stream) => {
+                if let Ok(clone) = stream.try_clone() {
+                    shared.conns.lock().unwrap().push(clone);
+                }
+                let shared = Arc::clone(shared);
+                let handle =
+                    thread::Builder::new()
+                        .name("amoe-serve-conn".into())
+                        .spawn(move || {
+                            let _ = handle_connection(stream, &shared);
+                        });
+                match handle {
+                    Ok(h) => handlers.push(h),
+                    Err(_) => continue,
+                }
+            }
+            Err(_) => continue,
+        }
+    }
+    // Drain phase. Handlers parked in read_frame on connections the
+    // client left open would block join forever; half-closing the read
+    // side (sticky, so it also covers handlers that re-enter
+    // read_frame later) turns their next read into EOF while replies
+    // still flow out the write half. This sweep is complete because
+    // this thread is the only registrar and has stopped accepting.
+    for conn in shared.conns.lock().unwrap().iter() {
+        let _ = conn.shutdown(std::net::Shutdown::Read);
+    }
+    // Connections that raced the shutdown sit un-accepted in the
+    // backlog; their clients would hang awaiting a handshake. Accept
+    // and drop them so they see EOF instead.
+    if listener.set_nonblocking(true).is_ok() {
+        while let Ok((s, _)) = listener.accept() {
+            drop(s);
+        }
+    }
+    // Every admitted request must be answered before join() returns,
+    // so wait for all connection threads.
+    for h in handlers {
+        let _ = h.join();
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    // Replies must not sit in the kernel waiting for an ACK.
+    let _ = stream.set_nodelay(true);
+    protocol::read_handshake(&mut stream)?;
+    protocol::write_handshake(&mut stream)?;
+    loop {
+        let payload = match protocol::read_frame(&mut stream) {
+            Ok(p) => p,
+            // Peer hung up between requests: normal connection end.
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                reply(
+                    &mut stream,
+                    &Response::Error {
+                        message: format!("malformed request: {e}"),
+                    },
+                )?;
+                continue;
+            }
+        };
+        match request {
+            Request::Score { request_id, rows } => {
+                handle_score(&mut stream, shared, request_id, rows)?;
+            }
+            Request::Reload { path } => handle_reload(&mut stream, shared, &path)?,
+            Request::Stats => {
+                let snap = shared.stats.snapshot(shared.queue.len());
+                reply(&mut stream, &Response::Stats(snap))?;
+            }
+            Request::Shutdown => {
+                handle_shutdown(&mut stream, shared)?;
+                return Ok(());
+            }
+        }
+    }
+}
+
+fn handle_score(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request_id: u64,
+    rows: Vec<FeatureRow>,
+) -> io::Result<()> {
+    shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    shared
+        .stats
+        .rows
+        .fetch_add(rows.len() as u64, Ordering::Relaxed);
+    let t0 = Instant::now();
+
+    let batch = match rows_to_batch(&rows, &shared.meta) {
+        Ok(b) => b,
+        Err(message) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return reply(stream, &Response::Error { message });
+        }
+    };
+
+    let (tx, rx) = mpsc::channel();
+    let pending = Pending {
+        batch,
+        reply: tx,
+        enqueued: t0,
+    };
+    match shared.queue.push(pending, shared.config.overload) {
+        Ok(()) => {}
+        Err(PushError::Full) => {
+            shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            if amoe_obs::enabled() {
+                amoe_obs::counter_add("serve.overloaded", 1);
+            }
+            return reply(stream, &Response::Overloaded);
+        }
+        Err(PushError::Closed) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            return reply(
+                stream,
+                &Response::Error {
+                    message: "server is shutting down".into(),
+                },
+            );
+        }
+    }
+    if amoe_obs::enabled() {
+        amoe_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
+    }
+
+    // The batcher always answers admitted requests (drain included);
+    // a recv error means it panicked.
+    let Ok(scores) = rx.recv() else {
+        shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+        return reply(
+            stream,
+            &Response::Error {
+                message: "internal error: batcher unavailable".into(),
+            },
+        );
+    };
+    shared.stats.ok.fetch_add(1, Ordering::Relaxed);
+    let n_rows = scores.len();
+    let result = reply(stream, &Response::Scores { request_id, scores });
+    if amoe_obs::enabled() {
+        let latency_us = t0.elapsed().as_micros() as u64;
+        amoe_obs::counter_add("serve.requests", 1);
+        amoe_obs::histogram_record("serve.request_latency_us", latency_us as f64);
+        amoe_obs::emit(
+            &amoe_obs::Event::new("serve_request")
+                .u64("request_id", request_id)
+                .u64("rows", n_rows as u64)
+                .u64("latency_us", latency_us)
+                .u64("queue_depth", shared.queue.len() as u64),
+        );
+    }
+    result
+}
+
+fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, path: &str) -> io::Result<()> {
+    let swapped = ParamSet::load(path)
+        .map_err(|e| format!("checkpoint load failed: {e}"))
+        .and_then(|params| {
+            MoeModel::from_params(
+                &shared.meta,
+                shared.model_config.clone(),
+                OptimConfig::default(),
+                &params,
+            )
+            .map_err(|e| format!("checkpoint incompatible with serving config: {e}"))
+        });
+    match swapped {
+        Ok(new_model) => {
+            *shared.model.lock().unwrap() = Arc::new(new_model);
+            shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+            if amoe_obs::enabled() {
+                amoe_obs::counter_add("serve.reloads", 1);
+                amoe_obs::emit(
+                    &amoe_obs::Event::new("serve_reload")
+                        .str("path", path)
+                        .u64("ok", 1),
+                );
+            }
+            reply(stream, &Response::Ok)
+        }
+        Err(message) => {
+            shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+            if amoe_obs::enabled() {
+                amoe_obs::emit(
+                    &amoe_obs::Event::new("serve_reload")
+                        .str("path", path)
+                        .u64("ok", 0),
+                );
+            }
+            reply(stream, &Response::Error { message })
+        }
+    }
+}
+
+fn handle_shutdown(stream: &mut TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    shared.shutdown.store(true, Ordering::SeqCst);
+    // Close the queue first: admitted requests drain, new ones are
+    // refused. The batcher exits once the queue is empty.
+    shared.queue.close();
+    // Wake the accept loop (it blocks in accept()) with a throwaway
+    // connection to our own listening address; the shutdown flag makes
+    // it break out instead of serving it. The accept loop then
+    // half-closes idle connections and drains the backlog.
+    let _ = TcpStream::connect(stream.local_addr()?);
+    reply(stream, &Response::Ok)
+}
+
+fn reply(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
+    protocol::write_frame(stream, &response.encode())
+}
+
+/// Validates feature rows against the schema and assembles the model
+/// batch. Returns a client-facing message on the first violation.
+pub(crate) fn rows_to_batch(rows: &[FeatureRow], meta: &DatasetMeta) -> Result<Batch, String> {
+    if rows.is_empty() {
+        return Err("no rows".into());
+    }
+    let b = rows.len();
+    let mut numeric = Matrix::zeros(b, meta.n_numeric);
+    let mut sc = Vec::with_capacity(b);
+    let mut tc = Vec::with_capacity(b);
+    let mut brand = Vec::with_capacity(b);
+    let mut shop = Vec::with_capacity(b);
+    let mut user_segment = Vec::with_capacity(b);
+    let mut price_bucket = Vec::with_capacity(b);
+    let mut query = Vec::with_capacity(b);
+    for (i, row) in rows.iter().enumerate() {
+        for (field, id, vocab) in [
+            ("sc", row.sc, meta.sc_vocab),
+            ("tc", row.tc, meta.tc_vocab),
+            ("brand", row.brand, meta.brand_vocab),
+            ("shop", row.shop, meta.shop_vocab),
+            ("user_segment", row.user_segment, meta.user_segment_vocab),
+            ("price_bucket", row.price_bucket, meta.price_bucket_vocab),
+            ("query", row.query, meta.query_vocab),
+        ] {
+            if id as usize >= vocab {
+                return Err(format!(
+                    "row {i}: {field} id {id} out of range (vocab {vocab})"
+                ));
+            }
+        }
+        if row.numeric.len() != meta.n_numeric {
+            return Err(format!(
+                "row {i}: {} numeric features, schema wants {}",
+                row.numeric.len(),
+                meta.n_numeric
+            ));
+        }
+        if let Some(v) = row.numeric.iter().find(|v| !v.is_finite()) {
+            return Err(format!("row {i}: non-finite numeric feature {v}"));
+        }
+        numeric.row_mut(i).copy_from_slice(&row.numeric);
+        sc.push(row.sc as usize);
+        tc.push(row.tc as usize);
+        brand.push(row.brand as usize);
+        shop.push(row.shop as usize);
+        user_segment.push(row.user_segment as usize);
+        price_bucket.push(row.price_bucket as usize);
+        query.push(row.query as usize);
+    }
+    Ok(Batch {
+        numeric,
+        labels: Matrix::zeros(b, 1),
+        sc,
+        tc,
+        brand,
+        shop,
+        user_segment,
+        price_bucket,
+        query,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> DatasetMeta {
+        DatasetMeta {
+            sc_vocab: 10,
+            tc_vocab: 3,
+            brand_vocab: 20,
+            shop_vocab: 5,
+            user_segment_vocab: 4,
+            price_bucket_vocab: 5,
+            query_vocab: 40,
+            n_numeric: 2,
+        }
+    }
+
+    fn ok_row() -> FeatureRow {
+        FeatureRow {
+            sc: 1,
+            tc: 2,
+            brand: 3,
+            shop: 4,
+            user_segment: 0,
+            price_bucket: 0,
+            query: 7,
+            numeric: vec![0.1, -0.2],
+        }
+    }
+
+    #[test]
+    fn valid_rows_become_a_batch() {
+        let batch = rows_to_batch(&[ok_row(), ok_row()], &meta()).expect("valid");
+        assert_eq!(batch.len(), 2);
+        assert_eq!(batch.numeric.row(1), &[0.1, -0.2]);
+        assert_eq!(batch.sc, vec![1, 1]);
+    }
+
+    #[test]
+    fn out_of_vocab_id_rejected() {
+        let mut row = ok_row();
+        row.brand = 99;
+        let err = rows_to_batch(&[row], &meta()).unwrap_err();
+        assert!(err.contains("brand"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn wrong_numeric_width_rejected() {
+        let mut row = ok_row();
+        row.numeric = vec![0.0; 5];
+        assert!(rows_to_batch(&[row], &meta()).is_err());
+    }
+
+    #[test]
+    fn non_finite_numeric_rejected() {
+        let mut row = ok_row();
+        row.numeric[0] = f32::NAN;
+        let err = rows_to_batch(&[row], &meta()).unwrap_err();
+        assert!(err.contains("non-finite"), "unexpected message: {err}");
+    }
+}

@@ -42,4 +42,9 @@ step "telemetry smoke: tiny training run emits valid JSONL"
 AMOE_OBS=target/ci_obs_smoke.jsonl \
   cargo run --release --offline -p amoe-bench --bin obs_smoke
 
+step "serving smoke: load_sweep drives an amoe-serve server over TCP"
+rm -f target/ci_serve_smoke.jsonl
+AMOE_OBS=target/ci_serve_smoke.jsonl \
+  cargo run --release --offline -p amoe-bench --bin load_sweep -- --smoke
+
 step "ci green"

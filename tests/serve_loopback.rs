@@ -1,0 +1,345 @@
+//! End-to-end tests of the `amoe-serve` service over loopback TCP:
+//! batched scores must be **bit-identical** to direct in-process
+//! `ServingMoe::predict` at every pool width, overload must surface as
+//! `OVERLOADED`, a hot-swap under load must not fail a single
+//! in-flight request, and `SHUTDOWN` must drain every admitted
+//! request before the server exits.
+//!
+//! The tests share one process, and the pool thread-override is a
+//! process-wide global, so each test sets it explicitly where it
+//! matters and restores the default before returning.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use adv_hsc_moe::dataset::{generate, Batch, Dataset, GeneratorConfig};
+use adv_hsc_moe::moe::config::TowerConfig;
+use adv_hsc_moe::moe::ranker::{OptimConfig, Ranker};
+use adv_hsc_moe::moe::serving::ServingMoe;
+use adv_hsc_moe::moe::{MoeConfig, MoeModel};
+use adv_hsc_moe::serve::{
+    Client, FeatureRow, ModelSpec, OverloadPolicy, ServeConfig, ServeError, Server,
+};
+use adv_hsc_moe::tensor::pool;
+
+fn trained_model(seed: u64, steps: usize) -> (Dataset, MoeModel) {
+    let d = generate(&GeneratorConfig::tiny(41));
+    let cfg = MoeConfig {
+        n_experts: 6,
+        top_k: 2,
+        tower: TowerConfig {
+            hidden: vec![12, 6],
+        },
+        seed,
+        ..MoeConfig::default()
+    };
+    let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+    let batch = Batch::from_split(&d.train, &(0..128).collect::<Vec<_>>());
+    for _ in 0..steps {
+        m.train_step(&batch);
+    }
+    (d, m)
+}
+
+fn feature_rows(d: &Dataset, range: std::ops::Range<usize>) -> Vec<FeatureRow> {
+    d.test.examples[range]
+        .iter()
+        .map(|e| FeatureRow {
+            sc: e.pred_sc as u32,
+            tc: e.pred_tc as u32,
+            brand: e.brand as u32,
+            shop: e.shop as u32,
+            user_segment: e.user_segment as u32,
+            price_bucket: e.price_bucket as u32,
+            query: e.query,
+            numeric: e.numeric.to_vec(),
+        })
+        .collect()
+}
+
+/// Batched serving over TCP returns exactly the scores the model
+/// produces in-process — bitwise, for every pool width, even though
+/// concurrent requests are coalesced into shared micro-batches.
+#[test]
+fn scores_over_tcp_are_bit_identical_to_direct_predict() {
+    // Mixed-size concurrent requests, one expected score vector each.
+    let spans: Vec<std::ops::Range<usize>> = vec![0..3, 3..4, 4..11, 11..16, 16..17, 17..25];
+
+    for threads in [1usize, 2, 4] {
+        pool::set_threads(threads);
+        let (d, model) = trained_model(900, 8);
+        let expected: Vec<Vec<f32>> = spans
+            .iter()
+            .map(|s| {
+                let batch = Batch::from_split(&d.test, &s.clone().collect::<Vec<_>>());
+                ServingMoe::new(&model).predict(&batch)
+            })
+            .collect();
+        let server = Server::start(
+            "127.0.0.1:0",
+            model,
+            d.meta.clone(),
+            ServeConfig {
+                // Generous window so concurrent requests coalesce.
+                max_wait: Duration::from_millis(20),
+                ..ServeConfig::default()
+            },
+        )
+        .expect("server start");
+        let addr = server.local_addr();
+
+        let handles: Vec<_> = spans
+            .iter()
+            .cloned()
+            .map(|span| {
+                let rows = feature_rows(&d, span);
+                std::thread::spawn(move || {
+                    Client::connect(addr)
+                        .expect("connect")
+                        .score(&rows)
+                        .expect("score")
+                })
+            })
+            .collect();
+        let got: Vec<Vec<f32>> = handles.into_iter().map(|h| h.join().unwrap()).collect();
+        for (i, (g, e)) in got.iter().zip(&expected).enumerate() {
+            assert_eq!(
+                g, e,
+                "threads={threads}: request {i} scores differ from direct predict"
+            );
+        }
+        let mut admin = Client::connect(addr).expect("admin connect");
+        let stats = admin.stats().expect("stats");
+        assert_eq!(stats.ok, spans.len() as u64, "threads={threads}");
+        assert_eq!(stats.errors, 0, "threads={threads}");
+        admin.shutdown().expect("shutdown");
+        server.join();
+    }
+    pool::clear_threads_override();
+}
+
+/// A full queue with a throttled batcher rejects with `OVERLOADED`
+/// (and counts it) instead of erroring or hanging.
+#[test]
+fn full_queue_returns_overloaded() {
+    let (d, model) = trained_model(901, 2);
+    let server = Server::start(
+        "127.0.0.1:0",
+        model,
+        d.meta.clone(),
+        ServeConfig {
+            queue_cap: 2,
+            max_batch_rows: 2,
+            overload: OverloadPolicy::Reject,
+            batcher_delay: Some(Duration::from_millis(50)),
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let overloaded = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..8)
+        .map(|i| {
+            let rows = feature_rows(&d, i..i + 1);
+            let overloaded = Arc::clone(&overloaded);
+            std::thread::spawn(
+                move || match Client::connect(addr).expect("connect").score(&rows) {
+                    Ok(scores) => assert_eq!(scores.len(), 1),
+                    Err(ServeError::Overloaded) => {
+                        overloaded.fetch_add(1, Ordering::Relaxed);
+                    }
+                    Err(e) => panic!("unexpected error: {e}"),
+                },
+            )
+        })
+        .collect();
+    for h in handles {
+        h.join().unwrap();
+    }
+    assert!(
+        overloaded.load(Ordering::Relaxed) > 0,
+        "8 concurrent requests against a queue of 2 should shed load"
+    );
+    let mut admin = Client::connect(addr).expect("admin connect");
+    let stats = admin.stats().expect("stats");
+    assert_eq!(
+        stats.overloaded,
+        overloaded.load(Ordering::Relaxed) as u64,
+        "server-side overload count disagrees with clients"
+    );
+    admin.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// `SHUTDOWN` drains: requests admitted before the shutdown arrives
+/// are all answered with real scores, never dropped.
+#[test]
+fn shutdown_drains_admitted_requests() {
+    let (d, model) = trained_model(902, 2);
+    let server = Server::start(
+        "127.0.0.1:0",
+        model,
+        d.meta.clone(),
+        ServeConfig {
+            queue_cap: 64,
+            // Slow batches so the queue still holds requests when the
+            // shutdown lands.
+            batcher_delay: Some(Duration::from_millis(20)),
+            max_batch_rows: 2,
+            ..ServeConfig::default()
+        },
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let answered = Arc::new(AtomicUsize::new(0));
+    let handles: Vec<_> = (0..10)
+        .map(|i| {
+            let rows = feature_rows(&d, i..i + 1);
+            let answered = Arc::clone(&answered);
+            std::thread::spawn(move || {
+                let scores = Client::connect(addr)
+                    .expect("connect")
+                    .score(&rows)
+                    .expect("admitted request must be answered during drain");
+                assert_eq!(scores.len(), 1);
+                answered.fetch_add(1, Ordering::Relaxed);
+            })
+        })
+        .collect();
+    // Wait until all 10 requests have reached the server (the slow
+    // batcher guarantees a backlog remains), then shut down mid-drain.
+    let mut admin = Client::connect(addr).expect("admin connect");
+    while admin.stats().expect("stats").requests < 10 {
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    std::thread::sleep(Duration::from_millis(5));
+    admin.shutdown().expect("shutdown");
+    for h in handles {
+        h.join().unwrap();
+    }
+    server.join();
+    assert_eq!(answered.load(Ordering::Relaxed), 10);
+}
+
+/// RELOAD under load: every response is bitwise one of {old-model
+/// scores, new-model scores}, nothing fails, and the swap is counted.
+#[test]
+fn reload_hot_swaps_without_failing_requests() {
+    let (d, model_a) = trained_model(903, 4);
+    let (_, model_b) = trained_model(904, 9);
+    let dir = std::env::temp_dir().join(format!("amoe_serve_reload_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ckpt = dir.join("model_b.amoe");
+    model_b.params().save(&ckpt).expect("save checkpoint");
+    ModelSpec {
+        meta: d.meta.clone(),
+        config: model_b.config().clone(),
+    }
+    .save(dir.join("model_b.spec"))
+    .expect("save spec");
+
+    let span = 0..6;
+    let batch = Batch::from_split(&d.test, &span.clone().collect::<Vec<_>>());
+    let scores_a = ServingMoe::new(&model_a).predict(&batch);
+    let scores_b = ServingMoe::new(&model_b).predict(&batch);
+    assert_ne!(scores_a, scores_b, "models must actually differ");
+
+    let server = Server::start(
+        "127.0.0.1:0",
+        model_a,
+        d.meta.clone(),
+        ServeConfig::default(),
+    )
+    .expect("server start");
+    let addr = server.local_addr();
+
+    let rows = feature_rows(&d, span);
+    let saw_b = Arc::new(AtomicUsize::new(0));
+    let workers: Vec<_> = (0..4)
+        .map(|_| {
+            let rows = rows.clone();
+            let (scores_a, scores_b) = (scores_a.clone(), scores_b.clone());
+            let saw_b = Arc::clone(&saw_b);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                for _ in 0..40 {
+                    let got = client.score(&rows).expect("score during reload");
+                    if got == scores_b {
+                        saw_b.fetch_add(1, Ordering::Relaxed);
+                    } else {
+                        assert_eq!(got, scores_a, "response matches neither model");
+                    }
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    let mut admin = Client::connect(addr).expect("admin connect");
+    admin
+        .reload(ckpt.to_str().expect("utf-8 path"))
+        .expect("reload");
+    for w in workers {
+        w.join().unwrap();
+    }
+    // After the swap acknowledgement, fresh requests use the new model.
+    let mut client = Client::connect(addr).expect("connect");
+    assert_eq!(client.score(&rows).expect("score"), scores_b);
+    let stats = admin.stats().expect("stats");
+    assert_eq!(stats.reloads, 1);
+    assert_eq!(stats.errors, 0);
+    admin.shutdown().expect("shutdown");
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A bad RELOAD (missing file, incompatible checkpoint) keeps the old
+/// model serving and reports an error.
+#[test]
+fn failed_reload_keeps_serving_old_model() {
+    let (d, model) = trained_model(905, 3);
+    let rows = feature_rows(&d, 0..4);
+    let batch = Batch::from_split(&d.test, &(0..4).collect::<Vec<_>>());
+    let expected = ServingMoe::new(&model).predict(&batch);
+
+    let server = Server::start("127.0.0.1:0", model, d.meta.clone(), ServeConfig::default())
+        .expect("server start");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+    match client.reload("/nonexistent/amoe_serve_missing.amoe") {
+        Err(ServeError::Server(msg)) => {
+            assert!(msg.contains("checkpoint load failed"), "message: {msg}")
+        }
+        other => panic!("expected server error, got {other:?}"),
+    }
+    assert_eq!(client.score(&rows).expect("score"), expected);
+    let stats = client.stats().expect("stats");
+    assert_eq!(stats.reloads, 0);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
+
+/// Schema violations (out-of-vocabulary ids) are rejected per request
+/// with a message naming the field, and the connection stays usable.
+#[test]
+fn out_of_vocab_request_is_rejected_not_fatal() {
+    let (d, model) = trained_model(906, 2);
+    let server = Server::start("127.0.0.1:0", model, d.meta.clone(), ServeConfig::default())
+        .expect("server start");
+    let addr = server.local_addr();
+    let mut client = Client::connect(addr).expect("connect");
+
+    let mut bad = feature_rows(&d, 0..1);
+    bad[0].shop = u32::MAX;
+    match client.score(&bad) {
+        Err(ServeError::Server(msg)) => assert!(msg.contains("shop"), "message: {msg}"),
+        other => panic!("expected server error, got {other:?}"),
+    }
+    // Same connection still serves valid requests afterwards.
+    let good = feature_rows(&d, 0..2);
+    assert_eq!(client.score(&good).expect("score").len(), 2);
+    client.shutdown().expect("shutdown");
+    server.join();
+}
