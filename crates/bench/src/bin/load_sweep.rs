@@ -14,7 +14,12 @@
 //!    closed-loop clients run; every in-flight request must succeed;
 //! 4. **overload burst** — a second server with a tiny queue and a
 //!    throttled batcher takes a burst that must shed load with
-//!    `OVERLOADED` replies.
+//!    `OVERLOADED` replies;
+//! 5. **quantized serving** — a server with `quantized: true` scores
+//!    the probe rows; TCP-returned scores must stay within the
+//!    documented tolerance of a local f32 oracle on identical weights
+//!    (emitted as a `quant_parity` record), and a closed-loop pass
+//!    reports int8-path latency.
 //!
 //! Each stage prints a human line and emits a `load_sweep_row` JSONL
 //! event. When `AMOE_OBS` is set the run ends by flushing the sink and
@@ -33,6 +38,7 @@ use std::time::{Duration, Instant};
 
 use amoe_bench::obs_check;
 use amoe_core::ranker::OptimConfig;
+use amoe_core::serving::{ServingMoe, QUANT_SCORE_TOLERANCE};
 use amoe_core::{MoeConfig, MoeModel, Ranker, TowerConfig};
 use amoe_dataset::{generate, Batch, Dataset, Example, GeneratorConfig};
 use amoe_serve::{Client, FeatureRow, ModelSpec, OverloadPolicy, ServeConfig, ServeError, Server};
@@ -292,6 +298,7 @@ fn main() {
         ModelSpec {
             meta: dataset.meta.clone(),
             config: config.clone(),
+            serve_quantized: false,
         }
         .save(ckpt_dir.join("model_b.spec"))
         .unwrap_or_else(|e| fail(&format!("save spec: {e}")));
@@ -394,6 +401,70 @@ fn main() {
         );
     }
 
+    // Quantized serving: a server with int8 expert weights must return
+    // scores within the documented tolerance of a local f32 oracle on
+    // identical weights. build_model is deterministic, so rebuilding
+    // with the same step count reproduces the first server's weights;
+    // the oracle is computed locally before the model moves into the
+    // server.
+    {
+        let steps = if smoke { 6 } else { 20 };
+        let (model_q, _) = build_model(&dataset, steps);
+        let probe_rows = 32.min(pool.len() - 1);
+        let probe_batch = Batch::from_split(&dataset.test, &(0..probe_rows).collect::<Vec<_>>());
+        let f32_scores = ServingMoe::new(&model_q).predict(&probe_batch);
+
+        let q_server = Server::start(
+            "127.0.0.1:0",
+            model_q,
+            dataset.meta.clone(),
+            ServeConfig {
+                quantized: true,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("quantized server start: {e}")));
+        let q_addr = q_server.local_addr();
+
+        let mut probe = Client::connect(q_addr)
+            .unwrap_or_else(|e| fail(&format!("quantized probe connect: {e}")));
+        let served = probe
+            .score(&pool[..probe_rows])
+            .unwrap_or_else(|e| fail(&format!("quantized probe score: {e}")));
+        if served.len() != probe_rows {
+            fail("quantized probe: wrong score count");
+        }
+        let max_abs_err = f32_scores
+            .iter()
+            .zip(&served)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0f32, f32::max);
+        if max_abs_err > QUANT_SCORE_TOLERANCE {
+            fail(&format!(
+                "quantized scores drift {max_abs_err} from f32 oracle \
+                 (tolerance {QUANT_SCORE_TOLERANCE})"
+            ));
+        }
+        println!(
+            "load_sweep[quant] {probe_rows} probe rows within tolerance: \
+             max|dscore| {max_abs_err:.2e} <= {QUANT_SCORE_TOLERANCE}"
+        );
+        amoe_obs::emit(
+            &amoe_obs::Event::new("quant_parity")
+                .u64("rows", probe_rows as u64)
+                .f64("max_abs_err", f64::from(max_abs_err))
+                .f64("tolerance", f64::from(QUANT_SCORE_TOLERANCE)),
+        );
+
+        let result = closed_loop(q_addr, &pool, 2, requests, rows_per_req);
+        report("quant", 2, rows_per_req, &result);
+
+        probe
+            .shutdown()
+            .unwrap_or_else(|e| fail(&format!("quantized shutdown: {e}")));
+        q_server.join();
+    }
+
     // When telemetry is on, the run log must honour the sink contract
     // and contain well-formed serve_request records.
     if let Ok(path) = std::env::var("AMOE_OBS") {
@@ -402,6 +473,7 @@ fn main() {
             .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
         let records = obs_check::validate_jsonl(&body).unwrap_or_else(|e| fail(&e));
         let mut serve_requests = 0usize;
+        let mut quant_parity = 0usize;
         for r in &records {
             let checked = match r.kind.as_str() {
                 "serve_request" => {
@@ -429,12 +501,23 @@ fn main() {
                         "throughput_rps",
                     ],
                 ),
+                "quant_parity" => {
+                    quant_parity += 1;
+                    obs_check::require_fields(
+                        &r.value,
+                        "quant_parity",
+                        &["rows", "max_abs_err", "tolerance"],
+                    )
+                }
                 _ => Ok(()),
             };
             checked.unwrap_or_else(|e| fail(&e));
         }
         if serve_requests == 0 {
             fail(&format!("no serve_request record in {path}"));
+        }
+        if quant_parity == 0 {
+            fail(&format!("no quant_parity record in {path}"));
         }
         println!(
             "load_sweep: OK — {} JSONL records ({} serve_request) validated in {path}",

@@ -13,6 +13,11 @@
 //! `--smoke` shrinks the measurement for CI. The sweep always verifies
 //! that logits are bit-identical across thread counts before timing.
 //!
+//! Two kernel stages follow the sweep: a GEMM micro-bench (blocked
+//! packed kernel vs the naive reference, exact-equality gated) and a
+//! quantized-vs-f32 serving comparison (speedup plus logit- and
+//! score-level max-abs error, gated on the documented tolerance).
+//!
 //! With `AMOE_OBS=sweep.jsonl` set, every printed row is also emitted
 //! as a `serving_sweep_row` JSONL record and the run ends with a
 //! `metrics_snapshot` (per-phase span histograms, pool counters), so
@@ -22,12 +27,12 @@
 use std::hint::black_box;
 use std::time::Instant;
 
-use amoe_bench::timing::Timer;
+use amoe_bench::{obs_check, timing::Timer};
 use amoe_core::ranker::OptimConfig;
-use amoe_core::serving::ServingMoe;
-use amoe_core::{MoeConfig, MoeModel};
+use amoe_core::serving::{QuantizedExperts, ServingMoe, QUANT_SCORE_TOLERANCE};
+use amoe_core::{MoeConfig, MoeModel, TowerConfig};
 use amoe_dataset::{generate, Batch, GeneratorConfig};
-use amoe_tensor::pool;
+use amoe_tensor::{matmul, pool, Rng};
 
 const THREAD_COUNTS: [usize; 4] = [1, 2, 4, 8];
 
@@ -105,12 +110,242 @@ fn main() {
     }
 
     dispatch_compare(smoke);
+    gemm_bench(smoke);
+    quantized_stage(smoke);
 
     // Per-phase span histograms (serving.gate/experts/scatter,
     // pool.region, pool.queue_wait_ns) and pool counters
     // (pool.regions, pool.region_reuse, pool.workers_started) land
     // next to the sweep rows.
     amoe_obs::emit_metrics_snapshot();
+
+    validate_run_log();
+}
+
+/// Kernel micro-bench: the packed blocked GEMM against the naive
+/// seed-style oracle (`matmul::reference`), single-threaded so the
+/// numbers are pure kernel quality, not pool scheduling. Results are
+/// gated on exact equality first — a fast wrong kernel scores zero.
+fn gemm_bench(smoke: bool) {
+    let reps = if smoke { 3u32 } else { 20 };
+    // Serving-shaped, cache-pressure, and deliberately awkward shapes
+    // (odd dims exercise every tile-edge path).
+    let shapes: &[(usize, usize, usize)] = &[
+        (64, 96, 128),
+        (120, 33, 17),
+        (256, 256, 256),
+        (384, 512, 64),
+    ];
+    let mut rng = Rng::seed_from(61);
+
+    pool::set_threads(1);
+    println!();
+    println!("gemm micro-bench (1 thread, {reps} reps, blocked vs naive reference)");
+    println!(
+        "{:>16} {:>14} {:>14} {:>10}",
+        "m x k x n", "reference_ms", "blocked_ms", "speedup"
+    );
+    for &(m, k, n) in shapes {
+        let a = rng.normal_matrix(m, k, 0.0, 1.0);
+        let b = rng.normal_matrix(k, n, 0.0, 1.0);
+        let at = rng.normal_matrix(k, m, 0.0, 1.0);
+        let bt = rng.normal_matrix(n, k, 0.0, 1.0);
+        // Correctness gate for every flavour at this shape.
+        assert_eq!(
+            matmul::matmul(&a, &b),
+            matmul::reference::matmul(&a, &b),
+            "blocked matmul diverged at {m}x{k}x{n}"
+        );
+        assert_eq!(
+            matmul::matmul_tn(&at, &b),
+            matmul::reference::matmul_tn(&at, &b),
+            "blocked matmul_tn diverged at {m}x{k}x{n}"
+        );
+        assert_eq!(
+            matmul::matmul_nt(&a, &bt),
+            matmul::reference::matmul_nt(&a, &bt),
+            "blocked matmul_nt diverged at {m}x{k}x{n}"
+        );
+
+        black_box(matmul::reference::matmul(&a, &b));
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(matmul::reference::matmul(&a, &b));
+        }
+        let reference_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+        black_box(matmul::matmul(&a, &b));
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(matmul::matmul(&a, &b));
+        }
+        let blocked_ms = start.elapsed().as_secs_f64() * 1e3 / f64::from(reps);
+
+        let speedup = reference_ms / blocked_ms;
+        println!(
+            "{:>16} {reference_ms:>14.3} {blocked_ms:>14.3} {speedup:>9.2}x",
+            format!("{m}x{k}x{n}")
+        );
+        amoe_obs::emit(
+            &amoe_obs::Event::new("gemm_bench_row")
+                .u64("m", m as u64)
+                .u64("k", k as u64)
+                .u64("n", n as u64)
+                .u64("reps", u64::from(reps))
+                .f64("reference_ms", reference_ms)
+                .f64("blocked_ms", blocked_ms)
+                .f64("speedup", speedup),
+        );
+    }
+    pool::clear_threads_override();
+}
+
+/// Quantized-vs-f32 serving stage: one model with towers wide enough
+/// for the expert GEMMs to dominate, scored by the f32 oracle and the
+/// int8 path. Reports speedup plus max-abs error at the logit and
+/// score (post-sigmoid) level; the score error is asserted against the
+/// documented tolerance, so this stage is a gate as well as a bench.
+fn quantized_stage(smoke: bool) {
+    let reps = if smoke { 3u32 } else { 20 };
+    let d = generate(&GeneratorConfig::tiny(99));
+    let batch_len = 256.min(d.test.len());
+    let batch = Batch::from_split(&d.test, &(0..batch_len).collect::<Vec<_>>());
+    let cfg = MoeConfig {
+        n_experts: 16,
+        top_k: 2,
+        tower: TowerConfig {
+            hidden: vec![128, 64],
+        },
+        ..MoeConfig::default()
+    };
+    let model = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+    let oracle = ServingMoe::new(&model);
+    let quant = QuantizedExperts::from_model(&model);
+    let quantized = ServingMoe::with_quantized(&model, &quant);
+
+    // Determinism gate: the int8 path must be a pure function of its
+    // inputs (fixed-order lane accumulation), rep to rep.
+    let q_logits = quantized.predict_logits(&batch);
+    assert_eq!(
+        quantized.predict_logits(&batch),
+        q_logits,
+        "quantized serving is not deterministic"
+    );
+
+    let f_logits = oracle.predict_logits(&batch);
+    let logit_max_abs_err = f_logits
+        .iter()
+        .zip(&q_logits)
+        .map(|(a, b)| (a - b).abs())
+        .fold(0.0f32, f32::max);
+    let sigmoid = |v: f32| 1.0 / (1.0 + (-v).exp());
+    let score_max_abs_err = f_logits
+        .iter()
+        .zip(&q_logits)
+        .map(|(&a, &b)| (sigmoid(a) - sigmoid(b)).abs())
+        .fold(0.0f32, f32::max);
+    assert!(
+        score_max_abs_err <= QUANT_SCORE_TOLERANCE,
+        "quantized score error {score_max_abs_err} exceeds documented \
+         tolerance {QUANT_SCORE_TOLERANCE}"
+    );
+
+    let time_ms = |serving: &ServingMoe| {
+        black_box(serving.predict_logits(&batch));
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(serving.predict_logits(&batch));
+        }
+        start.elapsed().as_secs_f64() * 1e3 / f64::from(reps)
+    };
+    let f32_ms = time_ms(&oracle);
+    let quant_ms = time_ms(&quantized);
+
+    println!();
+    println!(
+        "quantized serving (N=16, towers 128x64, batch {batch_len}): \
+         f32 {f32_ms:.3} ms, int8 {quant_ms:.3} ms, {:.2}x, \
+         max|dlogit| {logit_max_abs_err:.2e}, max|dscore| {score_max_abs_err:.2e}",
+        f32_ms / quant_ms
+    );
+    amoe_obs::emit(
+        &amoe_obs::Event::new("quant_serving_row")
+            .u64("n_experts", 16)
+            .u64("batch", batch_len as u64)
+            .u64("reps", u64::from(reps))
+            .f64("f32_ms", f32_ms)
+            .f64("quant_ms", quant_ms)
+            .f64("speedup", f32_ms / quant_ms)
+            .f64("logit_max_abs_err", f64::from(logit_max_abs_err))
+            .f64("score_max_abs_err", f64::from(score_max_abs_err))
+            .f64("score_tolerance", f64::from(QUANT_SCORE_TOLERANCE))
+            .u64("quant_bytes", quant.bytes() as u64),
+    );
+}
+
+/// When `AMOE_OBS` is set, re-read the run log and hold it to the sink
+/// contract plus the schemas of this binary's own row kinds — the CI
+/// kernel-smoke stage depends on this self-check (exit 1 on violation).
+fn validate_run_log() {
+    let Ok(path) = std::env::var("AMOE_OBS") else {
+        return;
+    };
+    let fail = |msg: &str| -> ! {
+        eprintln!("serving_sweep: FAIL: {msg}");
+        std::process::exit(1);
+    };
+    amoe_obs::sink::set_sink_path(None); // flush + close
+    let body = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {path}: {e}")));
+    let records = obs_check::validate_jsonl(&body).unwrap_or_else(|e| fail(&e));
+    let (mut sweep_rows, mut gemm_rows, mut quant_rows) = (0usize, 0usize, 0usize);
+    for r in &records {
+        let checked = match r.kind.as_str() {
+            "serving_sweep_row" => {
+                sweep_rows += 1;
+                obs_check::require_fields(
+                    &r.value,
+                    "serving_sweep_row",
+                    &["n_experts", "threads", "ms_per_batch", "examples_per_sec"],
+                )
+            }
+            "gemm_bench_row" => {
+                gemm_rows += 1;
+                obs_check::require_fields(
+                    &r.value,
+                    "gemm_bench_row",
+                    &["m", "k", "n", "reference_ms", "blocked_ms", "speedup"],
+                )
+            }
+            "quant_serving_row" => {
+                quant_rows += 1;
+                obs_check::require_fields(
+                    &r.value,
+                    "quant_serving_row",
+                    &[
+                        "f32_ms",
+                        "quant_ms",
+                        "speedup",
+                        "logit_max_abs_err",
+                        "score_max_abs_err",
+                    ],
+                )
+            }
+            _ => Ok(()),
+        };
+        checked.unwrap_or_else(|e| fail(&e));
+    }
+    if sweep_rows == 0 || gemm_rows == 0 || quant_rows == 0 {
+        fail(&format!(
+            "run log {path} incomplete: {sweep_rows} sweep, {gemm_rows} gemm, \
+             {quant_rows} quant rows"
+        ));
+    }
+    println!(
+        "serving_sweep: OK — {} JSONL records ({sweep_rows} sweep, {gemm_rows} gemm, \
+         {quant_rows} quant) validated in {path}",
+        records.len()
+    );
 }
 
 /// Micro-benchmark of region dispatch overhead: many regions of

@@ -20,7 +20,6 @@ use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
-use amoe_core::serving::ServingMoe;
 use amoe_dataset::Batch;
 
 use crate::server::Shared;
@@ -61,11 +60,11 @@ pub(crate) fn run(shared: &Arc<Shared>) {
         }
 
         // Clone the Arc under the lock, predict outside it: a RELOAD
-        // can swap the serving model while this batch still runs on
+        // can swap the serving bundle while this batch still runs on
         // the old weights (the Arc keeps them alive).
         let model = Arc::clone(&shared.model.lock().unwrap());
         let parts: Vec<&Batch> = pending.iter().map(|p| &p.batch).collect();
-        let scores = ServingMoe::new(&model).predict_many(&parts);
+        let scores = model.serving().predict_many(&parts);
 
         let now = Instant::now();
         shared.stats.note_batch();

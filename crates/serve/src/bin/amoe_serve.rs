@@ -7,9 +7,11 @@
 //!
 //! amoe-serve serve --ckpt FILE --spec FILE [--addr HOST:PORT]
 //!                  [--max-batch-rows N] [--max-wait-us N]
-//!                  [--queue-cap N] [--block-ms N]
+//!                  [--queue-cap N] [--block-ms N] [--quantized]
 //!     Serve the checkpoint over TCP. Prints the bound address on
-//!     stdout, then blocks until a SHUTDOWN request.
+//!     stdout, then blocks until a SHUTDOWN request. `--quantized`
+//!     (or `serve_quantized=true` in the spec) serves int8 expert
+//!     weights; see DESIGN.md for the error contract.
 //! ```
 
 use std::process::ExitCode;
@@ -97,6 +99,7 @@ fn demo_export(args: &[String]) -> Result<(), String> {
     ModelSpec {
         meta: dataset.meta.clone(),
         config,
+        serve_quantized: false,
     }
     .save(&spec_path)
     .map_err(|e| format!("save {spec_path}: {e}"))?;
@@ -125,6 +128,9 @@ fn serve(args: &[String]) -> Result<(), String> {
     }
 
     let spec = ModelSpec::load(&spec_path).map_err(|e| format!("load {spec_path}: {e}"))?;
+    // Either side may opt in: the operator's flag or the checkpoint's
+    // deployment hint.
+    config.quantized = args.iter().any(|a| a == "--quantized") || spec.serve_quantized;
     let params = ParamSet::load(&ckpt).map_err(|e| format!("load {ckpt}: {e}"))?;
     let model = MoeModel::from_params(
         &spec.meta,

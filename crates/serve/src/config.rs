@@ -35,6 +35,13 @@ pub struct ServeConfig {
     /// tests can fill the queue deterministically. `None` in
     /// production.
     pub batcher_delay: Option<Duration>,
+    /// Serve with int8-quantized expert weights
+    /// ([`amoe_core::serving::QuantizedExperts`]). Opt-in: scores drift
+    /// from the f32 oracle by up to
+    /// [`amoe_core::serving::QUANT_SCORE_TOLERANCE`]; routing is
+    /// unaffected (the gate stays f32). Applies to the initial load and
+    /// every `RELOAD`.
+    pub quantized: bool,
 }
 
 impl Default for ServeConfig {
@@ -45,6 +52,7 @@ impl Default for ServeConfig {
             queue_cap: 128,
             overload: OverloadPolicy::Reject,
             batcher_delay: None,
+            quantized: false,
         }
     }
 }
@@ -71,6 +79,11 @@ pub struct ModelSpec {
     /// Architecture configuration (loss weights ride along so a
     /// fine-tune resuming from the spec reproduces training behaviour).
     pub config: MoeConfig,
+    /// Deployment hint: serve this checkpoint with int8 expert weights.
+    /// The server ORs it with its own `--quantized` flag; older specs
+    /// without the key parse as `false`, and older parsers skip the key
+    /// (unknown keys are ignored on both sides).
+    pub serve_quantized: bool,
 }
 
 impl ModelSpec {
@@ -101,6 +114,7 @@ impl ModelSpec {
             ("adversarial", c.adversarial),
             ("hsc", c.hsc),
             ("noisy_gating", c.noisy_gating),
+            ("serve_quantized", self.serve_quantized),
         ] {
             let _ = writeln!(s, "{k}={v}");
         }
@@ -129,6 +143,7 @@ impl ModelSpec {
             n_numeric: 0,
         };
         let mut config = MoeConfig::default();
+        let mut serve_quantized = false;
         let mut seen_sc = false;
         for (lineno, raw) in text.lines().enumerate() {
             let line = raw.trim();
@@ -158,6 +173,7 @@ impl ModelSpec {
                 "adversarial" => config.adversarial = parse_bool(key, value)?,
                 "hsc" => config.hsc = parse_bool(key, value)?,
                 "noisy_gating" => config.noisy_gating = parse_bool(key, value)?,
+                "serve_quantized" => serve_quantized = parse_bool(key, value)?,
                 "lambda1" => config.lambda1 = parse_f32(key, value)?,
                 "lambda2" => config.lambda2 = parse_f32(key, value)?,
                 "load_balance" => config.load_balance = parse_f32(key, value)?,
@@ -180,7 +196,11 @@ impl ModelSpec {
         if !seen_sc || meta.sc_vocab == 0 || meta.n_numeric == 0 {
             return Err(bad("spec missing required vocabulary/n_numeric keys"));
         }
-        Ok(ModelSpec { meta, config })
+        Ok(ModelSpec {
+            meta,
+            config,
+            serve_quantized,
+        })
     }
 
     /// Writes the spec sidecar file.
@@ -270,6 +290,7 @@ mod tests {
                 seed: 999,
                 ..MoeConfig::default()
             },
+            serve_quantized: true,
         }
     }
 
@@ -286,6 +307,19 @@ mod tests {
         assert_eq!(parsed.config.hsc, spec.config.hsc);
         assert_eq!(parsed.config.noisy_gating, spec.config.noisy_gating);
         assert_eq!(parsed.config.seed, spec.config.seed);
+        assert_eq!(parsed.serve_quantized, spec.serve_quantized);
+    }
+
+    #[test]
+    fn spec_without_quantized_key_defaults_to_f32() {
+        let text = sample_spec()
+            .to_text()
+            .lines()
+            .filter(|l| !l.starts_with("serve_quantized"))
+            .collect::<Vec<_>>()
+            .join("\n");
+        let parsed = ModelSpec::from_text(&text).expect("parse");
+        assert!(!parsed.serve_quantized);
     }
 
     #[test]

@@ -9,6 +9,7 @@ use std::thread::{self, JoinHandle};
 use std::time::Instant;
 
 use amoe_core::ranker::OptimConfig;
+use amoe_core::serving::ServingModel;
 use amoe_core::{GateInput, MoeConfig, MoeModel};
 use amoe_dataset::{Batch, DatasetMeta};
 use amoe_nn::ParamSet;
@@ -53,10 +54,11 @@ impl ServerStats {
 
 /// State shared by the accept loop, handler threads and the batcher.
 pub(crate) struct Shared {
-    /// The serving weights. Handlers swap the `Arc` on RELOAD; the
+    /// The serving bundle (model + optional int8 expert snapshot,
+    /// quantized once at load). Handlers swap the `Arc` on RELOAD; the
     /// batcher clones it per batch, so in-flight batches finish on
     /// the model they started with.
-    pub model: Mutex<Arc<MoeModel>>,
+    pub model: Mutex<Arc<ServingModel>>,
     /// Schema the server validates incoming ids against.
     pub meta: DatasetMeta,
     /// Architecture used to rebuild models on RELOAD.
@@ -113,7 +115,7 @@ impl Server {
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
             model_config: model.config().clone(),
-            model: Mutex::new(Arc::new(model)),
+            model: Mutex::new(Arc::new(ServingModel::new(model, config.quantized))),
             meta,
             queue: RequestQueue::new(config.queue_cap),
             config,
@@ -352,7 +354,10 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, path: &str) -> io
         });
     match swapped {
         Ok(new_model) => {
-            *shared.model.lock().unwrap() = Arc::new(new_model);
+            // Quantization policy survives the swap: the bundle is
+            // rebuilt with the server's configured mode.
+            *shared.model.lock().unwrap() =
+                Arc::new(ServingModel::new(new_model, shared.config.quantized));
             shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
             if amoe_obs::enabled() {
                 amoe_obs::counter_add("serve.reloads", 1);

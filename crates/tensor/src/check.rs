@@ -116,6 +116,49 @@ impl Checker {
     }
 }
 
+/// Asserts `|a - b| <= atol + rtol * |b|` (the [`crate::is_close`]
+/// contract), panicking with the context string and both values.
+///
+/// The workspace's tests used to hand-roll `(a - b).abs() < eps`
+/// comparisons with inconsistent epsilons; this is the one spelling
+/// they migrate to. `#[track_caller]` points the panic at the test
+/// line, not here.
+///
+/// # Panics
+/// Panics when the values are not close (NaNs are never close).
+#[track_caller]
+pub fn assert_close_rel(a: f32, b: f32, rtol: f32, atol: f32, context: &str) {
+    assert!(
+        crate::is_close(a, b, rtol, atol),
+        "{context}: {a} vs {b} (rtol {rtol}, atol {atol}, |diff| {})",
+        (a - b).abs()
+    );
+}
+
+/// Slice form of [`assert_close_rel`]: asserts equal lengths and
+/// element-wise closeness, reporting the first offending index.
+///
+/// # Panics
+/// Panics on a length mismatch or the first element pair that is not
+/// close.
+#[track_caller]
+pub fn assert_close_rel_slice(a: &[f32], b: &[f32], rtol: f32, atol: f32, context: &str) {
+    assert_eq!(
+        a.len(),
+        b.len(),
+        "{context}: length mismatch {} vs {}",
+        a.len(),
+        b.len()
+    );
+    for (i, (&x, &y)) in a.iter().zip(b).enumerate() {
+        assert!(
+            crate::is_close(x, y, rtol, atol),
+            "{context}: index {i}: {x} vs {y} (rtol {rtol}, atol {atol}, |diff| {})",
+            (x - y).abs()
+        );
+    }
+}
+
 /// Draws a `(rows, cols)` pair uniformly in `[lo, hi]` each.
 #[must_use]
 pub fn dims(rng: &mut Rng, lo: usize, hi: usize) -> (usize, usize) {
@@ -159,6 +202,25 @@ mod tests {
             let (r, c) = dims(&mut rng, 2, 9);
             assert!((2..=9).contains(&r) && (2..=9).contains(&c));
         }
+    }
+
+    #[test]
+    fn assert_close_rel_accepts_close_values() {
+        assert_close_rel(1.0, 1.0001, 1e-3, 0.0, "relative slack");
+        assert_close_rel(0.0, 1e-9, 0.0, 1e-8, "absolute slack");
+        assert_close_rel_slice(&[1.0, 2.0], &[1.0, 2.0], 0.0, 0.0, "exact");
+    }
+
+    #[test]
+    #[should_panic(expected = "drift: 1 vs 1.1")]
+    fn assert_close_rel_rejects_far_values() {
+        assert_close_rel(1.0, 1.1, 1e-3, 0.0, "drift");
+    }
+
+    #[test]
+    #[should_panic(expected = "lens: length mismatch 2 vs 1")]
+    fn assert_close_rel_slice_rejects_length_mismatch() {
+        assert_close_rel_slice(&[1.0, 2.0], &[1.0], 1e-3, 0.0, "lens");
     }
 
     #[test]

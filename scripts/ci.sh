@@ -35,8 +35,13 @@ cargo build --release --offline --workspace --benches --bins
 step "cargo test -q --offline (workspace)"
 cargo test -q --offline --release --workspace
 
-step "serving thread-sweep bench (smoke)"
-AMOE_BENCH_SMOKE=1 cargo run --release --offline -p amoe-bench --bin serving_sweep
+step "kernel smoke: serving_sweep GEMM micro-bench + quantized stage"
+# serving_sweep's exit code covers the kernel exactness gates, the
+# quantized-score tolerance, and JSONL validation of its own run log
+# (via amoe_bench::obs_check) — see validate_run_log in the binary.
+rm -f target/ci_kernel_smoke.jsonl
+AMOE_OBS=target/ci_kernel_smoke.jsonl AMOE_BENCH_SMOKE=1 \
+  cargo run --release --offline -p amoe-bench --bin serving_sweep
 
 step "telemetry smoke: tiny training run emits valid JSONL"
 AMOE_OBS=target/ci_obs_smoke.jsonl \

@@ -11,9 +11,10 @@
 
 use adv_hsc_moe::dataset::{generate, Batch, GeneratorConfig};
 use adv_hsc_moe::moe::ranker::{OptimConfig, Ranker};
-use adv_hsc_moe::moe::serving::ServingMoe;
+use adv_hsc_moe::moe::serving::{QuantizedExperts, ServingMoe};
 use adv_hsc_moe::moe::{MoeConfig, MoeModel, TrainConfig, Trainer};
-use adv_hsc_moe::tensor::pool;
+use adv_hsc_moe::tensor::matmul::{self, reference};
+use adv_hsc_moe::tensor::{pool, Rng};
 
 const THREAD_SWEEP: [usize; 3] = [1, 2, 8];
 
@@ -116,6 +117,80 @@ fn train_step_losses_identical_across_thread_counts() {
             sweep(threads),
             reference,
             "train_step losses diverged at {threads} threads"
+        );
+    }
+    pool::clear_threads_override();
+}
+
+#[test]
+fn blocked_gemm_bit_identical_to_serial_oracle_across_thread_counts() {
+    // The cache-blocked packed kernels promise *exact* equality with the
+    // naive serial reference — blocking and row-splitting must never
+    // re-associate an accumulation chain. A KC-crossing depth (300 >
+    // 256) above the parallel threshold exercises both mechanisms.
+    let mut rng = Rng::seed_from(51);
+    let a = rng.normal_matrix(48, 300, 0.0, 1.0);
+    let b = rng.normal_matrix(300, 40, 0.0, 1.0);
+    let at = rng.normal_matrix(300, 48, 0.0, 1.0);
+    let bt = rng.normal_matrix(40, 300, 0.0, 1.0);
+    let oracle = (
+        reference::matmul(&a, &b),
+        reference::matmul_tn(&at, &b),
+        reference::matmul_nt(&a, &bt),
+    );
+    for &threads in &THREAD_SWEEP {
+        pool::set_threads(threads);
+        assert_eq!(
+            matmul::matmul(&a, &b),
+            oracle.0,
+            "blocked nn kernel diverged from oracle at {threads} threads"
+        );
+        assert_eq!(
+            matmul::matmul_tn(&at, &b),
+            oracle.1,
+            "blocked tn kernel diverged from oracle at {threads} threads"
+        );
+        assert_eq!(
+            matmul::matmul_nt(&a, &bt),
+            oracle.2,
+            "blocked nt kernel diverged from oracle at {threads} threads"
+        );
+    }
+    pool::clear_threads_override();
+}
+
+#[test]
+fn quantized_serving_deterministic_for_fixed_seed() {
+    // The int8 serving path is a pure function of (seed, data): two
+    // independent builds must agree bit for bit, and so must every
+    // thread budget — quantization adds approximation, never jitter.
+    let run = |threads: usize| {
+        pool::set_threads(threads);
+        let d = generate(&GeneratorConfig::tiny(52));
+        let mut model = MoeModel::new(
+            &d.meta,
+            MoeConfig {
+                n_experts: 6,
+                top_k: 2,
+                ..MoeConfig::default()
+            },
+            OptimConfig::default(),
+        );
+        let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+        for _ in 0..5 {
+            model.train_step(&batch);
+        }
+        let quant = QuantizedExperts::from_model(&model);
+        ServingMoe::with_quantized(&model, &quant).predict_logits(&batch)
+    };
+    let reference_logits = run(1);
+    assert!(reference_logits.iter().all(|v| v.is_finite()));
+    assert_eq!(run(1), reference_logits, "same-seed rebuild diverged");
+    for &threads in &THREAD_SWEEP[1..] {
+        assert_eq!(
+            run(threads),
+            reference_logits,
+            "quantized logits diverged at {threads} threads"
         );
     }
     pool::clear_threads_override();

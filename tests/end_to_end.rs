@@ -6,6 +6,7 @@ use adv_hsc_moe::moe::ranker::OptimConfig;
 use adv_hsc_moe::moe::serving::ServingMoe;
 use adv_hsc_moe::moe::{DnnModel, MmoeModel, MoeConfig, MoeModel, Ranker, TrainConfig, Trainer};
 use adv_hsc_moe::nn::ParamSet;
+use adv_hsc_moe::tensor::check::assert_close_rel;
 
 fn small_data(seed: u64) -> adv_hsc_moe::dataset::Dataset {
     generate(&GeneratorConfig {
@@ -127,8 +128,8 @@ fn serving_path_agrees_after_training() {
     let batch = Batch::from_split(&data.test, &(0..100).collect::<Vec<_>>());
     let dense = model.predict(&batch);
     let sparse = ServingMoe::new(&model).predict(&batch);
-    for (i, (a, b)) in dense.iter().zip(&sparse).enumerate() {
-        assert!((a - b).abs() < 1e-5, "example {i}: {a} vs {b}");
+    for (i, (&a, &b)) in dense.iter().zip(&sparse).enumerate() {
+        assert_close_rel(a, b, 0.0, 1e-5, &format!("example {i} (dense vs serving)"));
     }
 }
 

@@ -237,6 +237,7 @@ fn reload_hot_swaps_without_failing_requests() {
     ModelSpec {
         meta: d.meta.clone(),
         config: model_b.config().clone(),
+        serve_quantized: false,
     }
     .save(dir.join("model_b.spec"))
     .expect("save spec");
