@@ -47,12 +47,20 @@
 //! The gate/expert boundary is a clock read inside the fused region's
 //! mid splice, so the two phases stay separately attributed even
 //! though they share a region.
+//!
+//! When request tracing is active ([`amoe_obs::trace`]) and the caller
+//! (the `amoe-serve` batcher) has marked an active batch, the forward
+//! path additionally records `gate` / per-expert `expert` / `scatter`
+//! trace events tagged with that batch id — observation only, never
+//! touching the data path, so scores stay bit-identical with tracing
+//! on.
 
 use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use amoe_dataset::Batch;
 use amoe_nn::{Activation, Mlp, ParamSet};
+use amoe_obs::trace;
 use amoe_tensor::quant::{matmul_nt_q, QuantMatrix};
 use amoe_tensor::{ops, pool, topk, Matrix};
 
@@ -342,6 +350,10 @@ impl<'m> ServingMoe<'m> {
         if b == 0 {
             return (Vec::new(), stats);
         }
+        // Non-zero only while the batcher computes a traced batch: the
+        // forward path tags its stage events with that batch id without
+        // any id plumbed through the call chain.
+        let tb = trace::active_batch();
 
         let gate_start = Instant::now();
         // Dense input once; gating from the SC embedding. The matmuls run
@@ -412,6 +424,7 @@ impl<'m> ServingMoe<'m> {
             },
             n_experts,
             |e_idx| {
+                let trace_t0 = (tb != 0).then(trace::now_ns);
                 let (rows, coeffs) = routing[e_idx]
                     .lock()
                     .unwrap()
@@ -425,10 +438,23 @@ impl<'m> ServingMoe<'m> {
                     }
                 });
                 *outputs[e_idx].lock().unwrap() = Some((rows, coeffs, ye));
+                if let Some(t0) = trace_t0 {
+                    trace::record(0, tb, "expert", t0, trace::now_ns(), e_idx as u64);
+                }
             },
         );
         stats.gate_time = gate_end.duration_since(gate_start);
         stats.expert_time = gate_end.elapsed();
+        if tb != 0 {
+            trace::record(
+                0,
+                tb,
+                "gate",
+                trace::instant_ns(gate_start),
+                trace::instant_ns(gate_end),
+                b as u64,
+            );
+        }
         if amoe_obs::enabled() {
             amoe_obs::histogram_record("serving.gate", stats.gate_time.as_nanos() as f64);
             amoe_obs::histogram_record("serving.experts", stats.expert_time.as_nanos() as f64);
@@ -436,6 +462,7 @@ impl<'m> ServingMoe<'m> {
 
         // Serial scatter in expert order: every thread count accumulates
         // each `out[r]` in the same order, so logits are bit-identical.
+        let scatter_start = Instant::now();
         let (out, scatter_time) = amoe_obs::timed("serving.scatter", || {
             let mut out = vec![0f32; b];
             for (e_idx, slot) in outputs.iter().enumerate() {
@@ -453,6 +480,16 @@ impl<'m> ServingMoe<'m> {
             out
         });
         stats.scatter_time = scatter_time;
+        if tb != 0 {
+            trace::record(
+                0,
+                tb,
+                "scatter",
+                trace::instant_ns(scatter_start),
+                trace::now_ns(),
+                b as u64,
+            );
+        }
         if amoe_obs::enabled() {
             stats.emit_event();
         }

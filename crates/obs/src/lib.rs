@@ -14,7 +14,14 @@
 //! * a **structured JSONL sink** ([`sink`], [`json`]) emitting one JSON
 //!   object per event (training epochs, serving calls, bench rows, run
 //!   manifests) to the file named by the `AMOE_OBS` environment
-//!   variable.
+//!   variable;
+//! * **sliding-window histograms** ([`window`]) — rotating segments
+//!   over the last N seconds, feeding the serving stack's live
+//!   p50/p95/p99 `STATS` readout;
+//! * a **request trace ring** ([`trace`]) — lock-sharded bounded
+//!   buffer of per-request stage events, exportable as Chrome
+//!   trace-event JSON (`AMOE_TRACE=path`, sampled via
+//!   `AMOE_TRACE_SAMPLE=1/N`), independent of the `AMOE_OBS` gate.
 //!
 //! # Cost model
 //!
@@ -44,12 +51,16 @@ pub mod json;
 pub mod registry;
 pub mod sink;
 pub mod span;
+pub mod trace;
+pub mod window;
 
 pub use registry::{
-    counter_add, counter_value, gauge_set, gauge_value, histogram_record, snapshot, Snapshot,
+    counter_add, counter_value, gauge_set, gauge_value, histogram_record, snapshot, window_record,
+    Snapshot,
 };
 pub use sink::{emit, emit_metrics_snapshot, Event};
 pub use span::{timed, Span};
+pub use window::WindowedHistogram;
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

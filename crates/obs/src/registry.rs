@@ -122,6 +122,43 @@ impl Histogram {
         }
     }
 
+    /// Resets the histogram to empty, keeping allocated bucket storage
+    /// for reuse (the windowed-rotation hot path).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0.0;
+        self.min = 0.0;
+        self.max = 0.0;
+    }
+
+    /// Folds another histogram into this one. Bucket-exact: merging
+    /// then reading a quantile equals recording every sample into one
+    /// histogram (buckets are a fixed global grid).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if other.counts.len() > self.counts.len() {
+            self.counts.resize(other.counts.len(), 0);
+        }
+        for (dst, src) in self.counts.iter_mut().zip(&other.counts) {
+            *dst += src;
+        }
+        self.min = if self.count == 0 {
+            other.min
+        } else {
+            self.min.min(other.min)
+        };
+        self.max = if self.count == 0 {
+            other.max
+        } else {
+            self.max.max(other.max)
+        };
+        self.sum += other.sum;
+        self.count += other.count;
+    }
+
     /// Quantile readout: the upper boundary of the bucket holding the
     /// `q`-quantile sample, clamped to the exact observed `[min, max]`
     /// range. `q` is clamped to `[0, 1]`; an empty histogram reads
@@ -153,12 +190,13 @@ impl Histogram {
     }
 }
 
-/// The registry's three metric families.
+/// The registry's metric families.
 #[derive(Default)]
 struct Inner {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, f64>,
     histograms: BTreeMap<&'static str, Histogram>,
+    windows: BTreeMap<&'static str, crate::window::WindowedHistogram>,
 }
 
 static REGISTRY: Mutex<Option<Inner>> = Mutex::new(None);
@@ -195,6 +233,34 @@ pub fn histogram_record(name: &'static str, v: f64) {
     with_inner(|r| r.histograms.entry(name).or_default().record(v));
 }
 
+/// Records `v` into the named **sliding-window** histogram (default
+/// window: [`crate::window::DEFAULT_WINDOW`] over
+/// [`crate::window::DEFAULT_SLOTS`] segments). No-op when telemetry is
+/// off. Unlike [`histogram_record`], readouts via [`window_merged`] /
+/// [`snapshot`] cover only the last window, not the process lifetime.
+pub fn window_record(name: &'static str, v: f64) {
+    if !crate::enabled() {
+        return;
+    }
+    with_inner(|r| {
+        r.windows
+            .entry(name)
+            .or_insert_with(crate::window::WindowedHistogram::with_defaults)
+            .record(v);
+    });
+}
+
+/// Folds the named windowed histogram's live segments into a plain
+/// [`Histogram`] (`None` when never recorded). Works while disabled.
+#[must_use]
+pub fn window_merged(name: &str) -> Option<Histogram> {
+    with_inner(|r| {
+        // BTreeMap<&'static str, _> is keyed by str content, so a
+        // borrowed lookup works for any &str.
+        r.windows.get_mut(name).map(|w| w.merged())
+    })
+}
+
 /// Reads one counter's current value (`0` when never recorded). Works
 /// even while telemetry is disabled, so a run can be inspected after
 /// `set_enabled(false)`. Intended for tests and embedders (e.g. the
@@ -221,6 +287,8 @@ pub struct Snapshot {
     pub gauges: BTreeMap<String, f64>,
     /// Histogram copies by name.
     pub histograms: BTreeMap<String, Histogram>,
+    /// Windowed histograms by name, folded over their live window.
+    pub windows: BTreeMap<String, Histogram>,
 }
 
 /// Copies the current registry contents (works even while disabled, so
@@ -242,6 +310,11 @@ pub fn snapshot() -> Snapshot {
             .histograms
             .iter()
             .map(|(k, v)| ((*k).to_string(), v.clone()))
+            .collect(),
+        windows: r
+            .windows
+            .iter_mut()
+            .map(|(k, v)| ((*k).to_string(), v.merged()))
             .collect(),
     })
 }
@@ -312,6 +385,61 @@ mod tests {
     }
 
     #[test]
+    fn quantile_error_bound_holds_on_random_streams() {
+        // Property: for any stream of samples ≥ 1 (where the log grid
+        // gives a relative guarantee — bucket 0 is absolute [0, 1)),
+        // the estimate brackets the exact-sort oracle from above
+        // within one bucket width: truth ≤ est ≤ truth · 2^(1/SUB).
+        let factor = 2f64.powf(1.0 / SUB_BUCKETS as f64);
+        let mut state = 0x853C_49E6_748F_EA9Bu64; // fixed seed
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for trial in 0..50 {
+            let n = 1 + (next() % 300) as usize;
+            // Spread magnitudes across many decades so every trial
+            // exercises a different slice of the bucket grid.
+            let scale = 10f64.powi((next() % 9) as i32);
+            let mut h = Histogram::new();
+            let mut values = Vec::with_capacity(n);
+            for _ in 0..n {
+                let v = 1.0 + scale * (next() % 10_000) as f64 / 997.0;
+                h.record(v);
+                values.push(v);
+            }
+            values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+            for q in [0.5, 0.9, 0.95, 0.99] {
+                // The histogram's own rank rule, applied to the truth.
+                let rank = ((q * n as f64).ceil() as usize).max(1);
+                let truth = values[rank - 1];
+                let est = h.quantile(q);
+                assert!(
+                    est >= truth * (1.0 - 1e-9) && est <= truth * factor * (1.0 + 1e-9),
+                    "trial {trial}: q={q} n={n} estimate {est} outside \
+                     [{truth}, {truth} · {factor}]"
+                );
+            }
+            // The exact extremes are tracked outside the grid.
+            assert_eq!(h.quantile(0.0), values[0]);
+            assert_eq!(h.quantile(1.0), values[n - 1]);
+        }
+        // Single-bucket edge: identical samples collapse the clamp
+        // range to a point, so every quantile is exact.
+        let mut h = Histogram::new();
+        for _ in 0..17 {
+            h.record(42.0);
+        }
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(h.quantile(q), 42.0);
+        }
+        // Empty edge: the oracle has no answer; the histogram reads 0.
+        assert_eq!(Histogram::new().quantile(0.99), 0.0);
+    }
+
+    #[test]
     fn quantile_clamps_to_observed_range() {
         let mut h = Histogram::new();
         h.record(10.0);
@@ -340,6 +468,61 @@ mod tests {
         assert_eq!(h.count(), 0);
         h.record(3.0);
         assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn merge_is_bucket_exact_and_clear_resets() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        let mut whole = Histogram::new();
+        for v in 1..=100 {
+            let v = f64::from(v);
+            if v <= 40.0 {
+                a.record(v);
+            } else {
+                b.record(v);
+            }
+            whole.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), whole.count());
+        assert_eq!(a.sum(), whole.sum());
+        assert_eq!(a.min(), whole.min());
+        assert_eq!(a.max(), whole.max());
+        for q in [0.1, 0.5, 0.95, 0.99] {
+            assert_eq!(a.quantile(q), whole.quantile(q));
+        }
+        // Merging an empty histogram is a no-op (min/max untouched).
+        let before = a.clone();
+        a.merge(&Histogram::new());
+        assert_eq!(a.count(), before.count());
+        assert_eq!(a.min(), before.min());
+        // Merging INTO an empty histogram adopts the other's extremes.
+        let mut e = Histogram::new();
+        e.merge(&whole);
+        assert_eq!(e.min(), 1.0);
+        assert_eq!(e.max(), 100.0);
+        a.clear();
+        assert_eq!(a.count(), 0);
+        assert_eq!(a.quantile(0.5), 0.0);
+        a.record(2.0);
+        assert_eq!(a.count(), 1);
+    }
+
+    #[test]
+    fn windowed_family_round_trip() {
+        let _guard = crate::test_lock();
+        crate::set_enabled(true);
+        reset();
+        window_record("test.win", 10.0);
+        window_record("test.win", 20.0);
+        let merged = window_merged("test.win").expect("window exists");
+        let snap = snapshot();
+        crate::set_enabled(false);
+        assert_eq!(merged.count(), 2);
+        assert_eq!(snap.windows.get("test.win").map(Histogram::count), Some(2));
+        assert_eq!(window_merged("test.never").map(|h| h.count()), None);
+        reset();
     }
 
     #[test]

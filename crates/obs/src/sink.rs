@@ -245,7 +245,8 @@ pub fn emit(event: &Event) {
 }
 
 /// Emits a `metrics_snapshot` event summarising every registry metric:
-/// counters and gauges verbatim, histograms as
+/// counters and gauges verbatim, histograms (and windowed histograms,
+/// folded over their live window) as
 /// `<name>.count/.mean/.p50/.p90/.max` (nanosecond-valued for span
 /// histograms). Call at the end of a run so per-phase span timings
 /// land in the JSONL next to the per-event records.
@@ -261,7 +262,7 @@ pub fn emit_metrics_snapshot() {
     for (name, v) in &snap.gauges {
         event.fields.push((leak_name(name), FieldValue::F64(*v)));
     }
-    for (name, h) in &snap.histograms {
+    for (name, h) in snap.histograms.iter().chain(snap.windows.iter()) {
         let stats = [
             ("count", h.count() as f64),
             ("mean", h.mean()),

@@ -48,10 +48,25 @@ impl Span {
     }
 
     /// The `/`-joined path of the current thread's open spans
-    /// (allocates; diagnostic use only).
+    /// (allocates when spans are open; diagnostic use only). When
+    /// telemetry is disabled the stack is empty by construction
+    /// ([`Span::enter`] is inert), so this returns the non-allocating
+    /// empty string without touching the thread-local.
     #[must_use]
     pub fn current_path() -> String {
-        STACK.with(|s| s.borrow().join("/"))
+        if !crate::enabled() {
+            return String::new();
+        }
+        STACK.with(|s| {
+            let stack = s.borrow();
+            if stack.is_empty() {
+                // `join` on an empty slice doesn't allocate, but make
+                // the noalloc contract independent of that detail.
+                String::new()
+            } else {
+                stack.join("/")
+            }
+        })
     }
 }
 

@@ -14,13 +14,16 @@
 //! per-row scatter in fixed expert order), so a row's score is
 //! bit-identical whether its request was predicted alone or inside any
 //! coalesced batch, at any `AMOE_THREADS` setting. The
-//! `serve_loopback` integration test asserts this end to end.
+//! `serve_loopback` integration test asserts this end to end. Tracing
+//! observes the pipeline without touching the data path, so the
+//! contract holds at any sample rate.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
 use amoe_dataset::Batch;
+use amoe_obs::trace;
 
 use crate::server::Shared;
 
@@ -28,8 +31,11 @@ use crate::server::Shared;
 pub(crate) struct Pending {
     /// Decoded, validated feature rows.
     pub batch: Batch,
-    /// Where the handler thread waits for this request's scores.
-    pub reply: mpsc::Sender<Vec<f32>>,
+    /// Request trace id (`0` = untraced).
+    pub trace_id: u64,
+    /// Where the handler thread waits for this request's scores, plus
+    /// the id of the batch that computed them (for trace correlation).
+    pub reply: mpsc::Sender<(Vec<f32>, u64)>,
     /// Admission time, for queue-wait accounting.
     pub enqueued: Instant,
 }
@@ -42,12 +48,14 @@ pub(crate) fn run(shared: &Arc<Shared>) {
         let Some(first) = shared.queue.pop_wait() else {
             break;
         };
+        note_queue_exit(&first);
         let deadline = Instant::now() + shared.config.max_wait;
         let mut pending = vec![first];
         let mut rows = pending[0].batch.len();
         while rows < shared.config.max_batch_rows {
             match shared.queue.pop_until(deadline) {
                 Some(p) => {
+                    note_queue_exit(&p);
                     rows += p.batch.len();
                     pending.push(p);
                 }
@@ -59,23 +67,65 @@ pub(crate) fn run(shared: &Arc<Shared>) {
             std::thread::sleep(delay);
         }
 
+        // Batch ids are allocated per assembled batch (≥ 1; 0 stays
+        // "no batch" in trace events and the active-batch marker).
+        let batch_id = shared.stats.next_batch_id();
+        let assembled_at = Instant::now();
+        let traced = pending.iter().any(|p| p.trace_id != 0);
+        if traced {
+            let t = trace::instant_ns(assembled_at);
+            for p in &pending {
+                if p.trace_id != 0 {
+                    trace::record(p.trace_id, batch_id, "batch_assembled", t, t, rows as u64);
+                }
+            }
+        }
+
         // Clone the Arc under the lock, predict outside it: a RELOAD
         // can swap the serving bundle while this batch still runs on
         // the old weights (the Arc keeps them alive).
         let model = Arc::clone(&shared.model.lock().unwrap());
         let parts: Vec<&Batch> = pending.iter().map(|p| &p.batch).collect();
+        // Tag the forward path (gate/expert/scatter, pool regions) with
+        // this batch while it computes — but only when someone in the
+        // batch is traced, so untraced batches add no events.
+        if traced {
+            trace::set_active_batch(batch_id);
+        }
         let scores = model.serving().predict_many(&parts);
+        if traced {
+            trace::set_active_batch(0);
+        }
 
         let now = Instant::now();
         shared.stats.note_batch();
+        {
+            // Always-on windowed stage accounting: per-request queue
+            // waits (admission → batch assembly) and per-batch compute.
+            let mut w = shared.stats.windows.lock().unwrap();
+            for p in &pending {
+                let wait_us = assembled_at.duration_since(p.enqueued).as_micros() as f64;
+                w.queue_wait_us.record(wait_us);
+            }
+            w.compute_us
+                .record(now.duration_since(assembled_at).as_micros() as f64);
+        }
         if amoe_obs::enabled() {
             record_batch_telemetry(shared, &pending, rows, now);
         }
         for (p, s) in pending.into_iter().zip(scores) {
             // A handler that hung up (client disconnect) makes send
             // fail; that request's scores are simply dropped.
-            let _ = p.reply.send(s);
+            let _ = p.reply.send((s, batch_id));
         }
+    }
+}
+
+/// Records the `queue_exit` stage for a traced request, at actual pop
+/// time (before coalescing waits blur it).
+fn note_queue_exit(p: &Pending) {
+    if p.trace_id != 0 {
+        trace::record_instant(p.trace_id, 0, "queue_exit", p.batch.len() as u64);
     }
 }
 
@@ -88,7 +138,9 @@ fn record_batch_telemetry(shared: &Arc<Shared>, pending: &[Pending], rows: usize
     }
     amoe_obs::histogram_record("serve.batch_rows", rows as f64);
     amoe_obs::histogram_record("serve.batch_requests", pending.len() as f64);
-    amoe_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
+    // `serve.queue_depth` is published by the queue's depth observer,
+    // under the queue lock — reading `queue.len()` here could go stale
+    // against concurrent pushes.
     amoe_obs::counter_add("serve.batches", 1);
     amoe_obs::emit(
         &amoe_obs::Event::new("serve_batch")

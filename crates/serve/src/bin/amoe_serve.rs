@@ -12,6 +12,16 @@
 //!     stdout, then blocks until a SHUTDOWN request. `--quantized`
 //!     (or `serve_quantized=true` in the spec) serves int8 expert
 //!     weights; see DESIGN.md for the error contract.
+//!
+//! amoe-serve stats --addr HOST:PORT [--watch] [--interval-ms N]
+//!     Print the server's counters and sliding-window stage quantiles
+//!     (p50/p95/p99 over the server's stats window). `--watch`
+//!     refreshes every `--interval-ms` (default 1000) until
+//!     interrupted.
+//!
+//! amoe-serve trace-dump --addr HOST:PORT [--out FILE]
+//!     Fetch the server's trace ring as Chrome trace-event JSON
+//!     (load in ui.perfetto.dev). Writes FILE or stdout.
 //! ```
 
 use std::process::ExitCode;
@@ -21,15 +31,20 @@ use amoe_core::ranker::OptimConfig;
 use amoe_core::{MoeConfig, MoeModel, Ranker, TowerConfig};
 use amoe_dataset::{generate, Batch, GeneratorConfig};
 use amoe_nn::ParamSet;
-use amoe_serve::{ModelSpec, OverloadPolicy, ServeConfig, Server};
+use amoe_serve::{
+    Client, ModelSpec, OverloadPolicy, QuantileSummary, ServeConfig, Server, StatsSnapshot,
+    WindowedStats,
+};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let result = match args.first().map(String::as_str) {
         Some("demo-export") => demo_export(&args[1..]),
         Some("serve") => serve(&args[1..]),
+        Some("stats") => stats(&args[1..]),
+        Some("trace-dump") => trace_dump(&args[1..]),
         _ => {
-            eprintln!("usage: amoe-serve <demo-export|serve> [options]");
+            eprintln!("usage: amoe-serve <demo-export|serve|stats|trace-dump> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -146,5 +161,66 @@ fn serve(args: &[String]) -> Result<(), String> {
     // first stdout line; ephemeral ports make parallel runs safe.
     println!("{}", server.local_addr());
     server.join();
+    Ok(())
+}
+
+fn stats(args: &[String]) -> Result<(), String> {
+    let addr = opt(args, "--addr")?.ok_or("stats: --addr HOST:PORT is required")?;
+    let watch = args.iter().any(|a| a == "--watch");
+    let interval_ms: u64 = opt_parse(args, "--interval-ms")?.unwrap_or(1000);
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    loop {
+        let (snapshot, window) = client
+            .stats_full()
+            .map_err(|e| format!("stats from {addr}: {e}"))?;
+        print_stats(&snapshot, window.as_ref());
+        if !watch {
+            return Ok(());
+        }
+        std::thread::sleep(Duration::from_millis(interval_ms.max(50)));
+        println!();
+    }
+}
+
+fn print_stats(s: &StatsSnapshot, w: Option<&WindowedStats>) {
+    println!(
+        "requests={} rows={} ok={} overloaded={} errors={} batches={} reloads={} queue_depth={}",
+        s.requests, s.rows, s.ok, s.overloaded, s.errors, s.batches, s.reloads, s.queue_depth
+    );
+    match w {
+        None => println!("(v1 server: no windowed quantiles)"),
+        Some(w) => {
+            println!("window={}s", w.window_secs);
+            let stages: [(&str, &QuantileSummary); 5] = [
+                ("latency_us", &w.request_latency_us),
+                ("queue_wait_us", &w.queue_wait_us),
+                ("compute_us", &w.compute_us),
+                ("reply_write_us", &w.reply_write_us),
+                ("queue_depth", &w.queue_depth),
+            ];
+            for (name, q) in stages {
+                println!(
+                    "  {name:<16} n={:<8} p50={:<12.1} p95={:<12.1} p99={:.1}",
+                    q.count, q.p50, q.p95, q.p99
+                );
+            }
+        }
+    }
+}
+
+fn trace_dump(args: &[String]) -> Result<(), String> {
+    let addr = opt(args, "--addr")?.ok_or("trace-dump: --addr HOST:PORT is required")?;
+    let out = opt(args, "--out")?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    let json = client
+        .trace_dump()
+        .map_err(|e| format!("trace-dump: {e}"))?;
+    match out {
+        Some(path) => {
+            std::fs::write(&path, &json).map_err(|e| format!("write {path}: {e}"))?;
+            eprintln!("wrote {} bytes to {path}", json.len());
+        }
+        None => println!("{json}"),
+    }
     Ok(())
 }

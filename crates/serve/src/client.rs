@@ -4,7 +4,7 @@ use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{self, FeatureRow, Request, Response, StatsSnapshot};
+use crate::protocol::{self, FeatureRow, Request, Response, StatsSnapshot, WindowedStats};
 
 /// What a serve call can fail with.
 #[derive(Debug)]
@@ -46,16 +46,32 @@ impl From<io::Error> for ServeError {
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
+    version: u32,
 }
 
 impl Client {
-    /// Connects and performs the protocol handshake.
+    /// Connects and negotiates the protocol version: the client offers
+    /// its newest, the server answers with `min(client, server)`, so
+    /// either side may lag the other.
     pub fn connect(addr: impl ToSocketAddrs) -> Result<Client, ServeError> {
         let mut stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
-        protocol::write_handshake(&mut stream)?;
-        protocol::read_handshake(&mut stream).map_err(|e| ServeError::Protocol(e.to_string()))?;
-        Ok(Client { stream, next_id: 1 })
+        protocol::write_hello(&mut stream, protocol::VERSION)?;
+        let answered =
+            protocol::read_hello(&mut stream).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        let version =
+            protocol::negotiate(answered).map_err(|e| ServeError::Protocol(e.to_string()))?;
+        Ok(Client {
+            stream,
+            next_id: 1,
+            version,
+        })
+    }
+
+    /// The protocol version agreed at connect time.
+    #[must_use]
+    pub fn negotiated_version(&self) -> u32 {
+        self.version
     }
 
     fn round_trip(&mut self, request: &Request) -> Result<Response, ServeError> {
@@ -67,10 +83,34 @@ impl Client {
     /// Scores a batch of feature rows; returns one score per row, in
     /// row order.
     pub fn score(&mut self, rows: &[FeatureRow]) -> Result<Vec<f32>, ServeError> {
+        self.score_inner(rows, 0)
+    }
+
+    /// Like [`Client::score`], but asks the server to trace this
+    /// request under `trace_id` (non-zero; bypasses trace sampling).
+    /// Requires a v2 connection — a v1 server cannot carry the id.
+    pub fn score_traced(
+        &mut self,
+        rows: &[FeatureRow],
+        trace_id: u64,
+    ) -> Result<Vec<f32>, ServeError> {
+        if trace_id == 0 {
+            return Err(ServeError::Protocol("trace_id must be non-zero".into()));
+        }
+        if self.version < 2 {
+            return Err(ServeError::Protocol(
+                "server negotiated protocol v1: trace ids unsupported".into(),
+            ));
+        }
+        self.score_inner(rows, trace_id)
+    }
+
+    fn score_inner(&mut self, rows: &[FeatureRow], trace_id: u64) -> Result<Vec<f32>, ServeError> {
         let request_id = self.next_id;
         self.next_id += 1;
         let resp = self.round_trip(&Request::Score {
             request_id,
+            trace_id,
             rows: rows.to_vec(),
         })?;
         match resp {
@@ -126,8 +166,31 @@ impl Client {
 
     /// Reads the server's counters.
     pub fn stats(&mut self) -> Result<StatsSnapshot, ServeError> {
+        self.stats_full().map(|(snapshot, _)| snapshot)
+    }
+
+    /// Reads the server's counters plus, on v2 connections, the
+    /// sliding-window stage quantiles (`None` from a v1 server).
+    pub fn stats_full(&mut self) -> Result<(StatsSnapshot, Option<WindowedStats>), ServeError> {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats(s) => Ok(s),
+            Response::Stats { snapshot, window } => Ok((snapshot, window.map(|w| *w))),
+            Response::Error { message } => Err(ServeError::Server(message)),
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server's trace ring as Chrome trace-event JSON
+    /// (empty document when tracing is off). Requires a v2 connection.
+    pub fn trace_dump(&mut self) -> Result<String, ServeError> {
+        if self.version < 2 {
+            return Err(ServeError::Protocol(
+                "server negotiated protocol v1: TRACE_DUMP unsupported".into(),
+            ));
+        }
+        match self.round_trip(&Request::TraceDump)? {
+            Response::TraceDump { json } => Ok(json),
             Response::Error { message } => Err(ServeError::Server(message)),
             other => Err(ServeError::Protocol(format!(
                 "unexpected response {other:?}"

@@ -42,6 +42,11 @@ pub struct ServeConfig {
     /// unaffected (the gate stays f32). Applies to the initial load and
     /// every `RELOAD`.
     pub quantized: bool,
+    /// Length of the sliding window behind the `STATS` p50/p95/p99
+    /// readout (latency, queue wait, compute, reply write, queue
+    /// depth). Always on — windowed accounting is a handful of
+    /// histogram increments per request, independent of `AMOE_OBS`.
+    pub stats_window: Duration,
 }
 
 impl Default for ServeConfig {
@@ -53,6 +58,7 @@ impl Default for ServeConfig {
             overload: OverloadPolicy::Reject,
             batcher_delay: None,
             quantized: false,
+            stats_window: Duration::from_secs(60),
         }
     }
 }
@@ -62,6 +68,10 @@ impl ServeConfig {
     pub fn validate(&self) {
         assert!(self.max_batch_rows > 0, "max_batch_rows must be positive");
         assert!(self.queue_cap > 0, "queue_cap must be positive");
+        assert!(
+            self.stats_window > Duration::ZERO,
+            "stats_window must be positive"
+        );
     }
 }
 

@@ -33,6 +33,14 @@
 //! All stages are instrumented through `amoe-obs` (queue-depth gauge,
 //! batch-size / queue-wait / latency histograms, `serve_request` and
 //! `serve_batch` JSONL events) when `AMOE_OBS` is set.
+//!
+//! Independent of `AMOE_OBS`, the server keeps **always-on
+//! sliding-window stage histograms** (queue wait, compute, reply
+//! write, end-to-end latency, queue depth) reported as p50/p95/p99
+//! through the v2 `STATS` reply, and supports **request-scoped
+//! tracing** (`AMOE_TRACE=path`, sampled via `AMOE_TRACE_SAMPLE=1/N`)
+//! exportable as Chrome trace-event JSON through `TRACE_DUMP` or at
+//! drain. Protocol v1 peers interoperate via hello negotiation.
 
 pub mod batcher;
 pub mod client;
@@ -43,5 +51,5 @@ pub mod server;
 
 pub use client::{Client, ServeError};
 pub use config::{ModelSpec, OverloadPolicy, ServeConfig};
-pub use protocol::{FeatureRow, StatsSnapshot};
+pub use protocol::{FeatureRow, QuantileSummary, StatsSnapshot, WindowedStats};
 pub use server::Server;

@@ -1,17 +1,24 @@
 //! Length-prefixed binary wire protocol.
 //!
-//! A connection opens with a fixed 8-byte handshake (magic `AMSV` +
-//! `u32` protocol version, echoed by the server), after which both
-//! sides exchange *frames*: a little-endian `u32` payload length
-//! followed by the payload. The first payload byte is a tag; the rest
-//! is the tag-specific body. All integers are little-endian, all
-//! floats IEEE-754 `f32`/`f64` LE — the same conventions as the
-//! `AMOE` checkpoint format.
+//! A connection opens with a fixed 8-byte hello from each side (magic
+//! `AMSV` + `u32` protocol version): the client offers its version,
+//! the server answers with the **negotiated** version
+//! `min(client, server)`, and both sides speak that dialect for the
+//! rest of the connection. A v1 peer therefore interoperates with a
+//! v2 peer unchanged. After the handshake both sides exchange
+//! *frames*: a little-endian `u32` payload length followed by the
+//! payload. The first payload byte is a tag; the rest is the
+//! tag-specific body. All integers are little-endian, all floats
+//! IEEE-754 `f32`/`f64` LE — the same conventions as the `AMOE`
+//! checkpoint format.
 //!
-//! Requests: `SCORE` (feature rows to rank), `RELOAD` (checkpoint
-//! hot-swap), `SHUTDOWN` (drain and exit), `STATS` (counters probe).
-//! Responses: `SCORES`, `OVERLOADED` (admission control rejected the
-//! request), `ERROR` (with message), `OK`, `STATS`.
+//! Requests: `SCORE` (feature rows to rank; the v2 `SCORE_V2` variant
+//! carries a client-chosen trace id), `RELOAD` (checkpoint hot-swap),
+//! `SHUTDOWN` (drain and exit), `STATS` (counters probe),
+//! `TRACE_DUMP` (v2: fetch the server's trace ring as Chrome trace
+//! JSON). Responses: `SCORES`, `OVERLOADED` (admission control
+//! rejected the request), `ERROR` (with message), `OK`, `STATS` (v2
+//! appends sliding-window stage quantiles), `TRACE_DUMP_REPLY`.
 //!
 //! The protocol is strictly request/response per connection, so the
 //! `request_id` echoed in `SCORES` is a client-side sanity check, not
@@ -19,10 +26,15 @@
 
 use std::io::{self, Read, Write};
 
+use amoe_obs::registry::Histogram;
+
 /// Handshake magic: "AMSV" (AMoe SerVe).
 pub const MAGIC: [u8; 4] = *b"AMSV";
-/// Wire protocol version.
-pub const VERSION: u32 = 1;
+/// Highest wire protocol version this build speaks.
+pub const VERSION: u32 = 2;
+/// Lowest version still accepted (v1 peers predate trace ids and
+/// windowed stats).
+pub const MIN_VERSION: u32 = 1;
 /// Upper bound on a frame payload; larger lengths are treated as
 /// protocol corruption rather than allocated.
 pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
@@ -35,6 +47,10 @@ pub const TAG_RELOAD: u8 = 0x02;
 pub const TAG_SHUTDOWN: u8 = 0x03;
 /// See [`TAG_SCORE`].
 pub const TAG_STATS: u8 = 0x04;
+/// v2: `SCORE` carrying a client-chosen trace id (see [`TAG_SCORE`]).
+pub const TAG_SCORE_V2: u8 = 0x05;
+/// v2: fetch the trace ring as Chrome trace JSON (see [`TAG_SCORE`]).
+pub const TAG_TRACE_DUMP: u8 = 0x06;
 
 /// Response tags.
 pub const TAG_SCORES: u8 = 0x81;
@@ -46,6 +62,11 @@ pub const TAG_ERROR: u8 = 0x83;
 pub const TAG_OK: u8 = 0x84;
 /// See [`TAG_SCORES`].
 pub const TAG_STATS_REPLY: u8 = 0x85;
+/// v2: `STATS_REPLY` plus sliding-window quantiles (see
+/// [`TAG_SCORES`]).
+pub const TAG_STATS_REPLY_V2: u8 = 0x86;
+/// v2: Chrome trace JSON body (see [`TAG_SCORES`]).
+pub const TAG_TRACE_DUMP_REPLY: u8 = 0x87;
 
 /// One example to score: the seven sparse feature ids plus the dense
 /// numeric features, mirroring `amoe_dataset::Example` minus the label.
@@ -76,6 +97,11 @@ pub enum Request {
     Score {
         /// Client-chosen id echoed in the response.
         request_id: u64,
+        /// Client-chosen trace id (`0` = none; the server then applies
+        /// its own sampling). Non-zero ids ride the v2 `SCORE_V2` tag;
+        /// a zero id encodes as the v1 `SCORE` tag, so v1 peers are
+        /// unaffected.
+        trace_id: u64,
         /// Rows to score (at least one; all the same numeric width).
         rows: Vec<FeatureRow>,
     },
@@ -89,6 +115,8 @@ pub enum Request {
     Shutdown,
     /// Read the server counters.
     Stats,
+    /// v2: fetch the server's trace ring as Chrome trace JSON.
+    TraceDump,
 }
 
 /// A decoded response frame.
@@ -110,8 +138,21 @@ pub enum Response {
     },
     /// Acknowledgement for `Reload`/`Shutdown`.
     Ok,
-    /// Counter snapshot for `Stats`.
-    Stats(StatsSnapshot),
+    /// Counter snapshot for `Stats`. `window` is present on v2
+    /// connections (it encodes as `STATS_REPLY_V2`); `None` keeps the
+    /// bit-exact v1 `STATS_REPLY` wire shape for old clients.
+    Stats {
+        /// Lifetime counters.
+        snapshot: StatsSnapshot,
+        /// Sliding-window stage quantiles (v2 only). Boxed so the
+        /// common small responses don't pay the block's enum size.
+        window: Option<Box<WindowedStats>>,
+    },
+    /// v2: the server's trace ring as Chrome trace-event JSON.
+    TraceDump {
+        /// A complete Chrome trace JSON document.
+        json: String,
+    },
 }
 
 /// Point-in-time server counters (also the body of the `STATS` reply).
@@ -135,33 +176,90 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
 }
 
+/// Count + p50/p95/p99 readout of one sliding-window histogram.
+/// Quantiles inherit the log-bucket relative error bound
+/// (`2^(1/4) − 1 ≈ 19%`); all values are finite by construction.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct QuantileSummary {
+    /// Samples inside the window.
+    pub count: u64,
+    /// Median.
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+}
+
+impl QuantileSummary {
+    /// Reads a summary off a (merged sliding-window) histogram.
+    #[must_use]
+    pub fn from_histogram(h: &Histogram) -> QuantileSummary {
+        QuantileSummary {
+            count: h.count(),
+            p50: h.quantile(0.5),
+            p95: h.quantile(0.95),
+            p99: h.quantile(0.99),
+        }
+    }
+}
+
+/// Stage-broken-down sliding-window quantiles: what the last
+/// `window_secs` of traffic looked like, split into the pipeline
+/// stages a request passes through (queue wait vs batch compute vs
+/// reply write, plus end-to-end latency and queue depth).
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct WindowedStats {
+    /// Window length the summaries cover, seconds.
+    pub window_secs: f64,
+    /// End-to-end request latency (admission → reply written), µs.
+    pub request_latency_us: QuantileSummary,
+    /// Time spent waiting in the admission queue, µs.
+    pub queue_wait_us: QuantileSummary,
+    /// Model compute per batch (gate + experts + scatter), µs.
+    pub compute_us: QuantileSummary,
+    /// Reply serialisation + socket write, µs.
+    pub reply_write_us: QuantileSummary,
+    /// Queue depth observed at every push/pop.
+    pub queue_depth: QuantileSummary,
+}
+
 // ---------------------------------------------------------------------
 // Framing
 // ---------------------------------------------------------------------
 
-/// Writes the handshake preamble (both sides send the same bytes).
-pub fn write_handshake(w: &mut impl Write) -> io::Result<()> {
+/// Writes one side's handshake hello: magic + the version it offers
+/// (client: its best; server: the negotiated answer).
+pub fn write_hello(w: &mut impl Write, version: u32) -> io::Result<()> {
     let mut wire = [0u8; 8];
     wire[..4].copy_from_slice(&MAGIC);
-    wire[4..].copy_from_slice(&VERSION.to_le_bytes());
+    wire[4..].copy_from_slice(&version.to_le_bytes());
     w.write_all(&wire)?;
     w.flush()
 }
 
-/// Reads and validates the peer's handshake preamble.
-pub fn read_handshake(r: &mut impl Read) -> io::Result<()> {
+/// Reads the peer's handshake hello, returning the version it offered.
+pub fn read_hello(r: &mut impl Read) -> io::Result<u32> {
     let mut magic = [0u8; 4];
     r.read_exact(&mut magic)?;
     if magic != MAGIC {
         return Err(bad_data("bad handshake magic (not an amoe-serve peer)"));
     }
-    let version = read_u32(r)?;
-    if version != VERSION {
+    read_u32(r)
+}
+
+/// Clamps a peer's offered version into this build's supported range.
+///
+/// # Errors
+/// Rejects versions below [`MIN_VERSION`] (version 0 is reserved and
+/// indicates a corrupt hello).
+pub fn negotiate(peer_version: u32) -> io::Result<u32> {
+    if peer_version < MIN_VERSION {
         return Err(bad_data(format!(
-            "unsupported protocol version {version} (want {VERSION})"
+            "unsupported protocol version {peer_version} (want {MIN_VERSION}..={VERSION})"
         )));
     }
-    Ok(())
+    Ok(peer_version.min(VERSION))
 }
 
 /// Writes one length-prefixed frame.
@@ -202,9 +300,21 @@ impl Request {
     pub fn encode(&self) -> Vec<u8> {
         let mut out = Vec::new();
         match self {
-            Request::Score { request_id, rows } => {
-                out.push(TAG_SCORE);
-                put_u64(&mut out, *request_id);
+            Request::Score {
+                request_id,
+                trace_id,
+                rows,
+            } => {
+                // A zero trace id keeps the exact v1 wire shape; only
+                // explicitly traced requests need the v2 tag.
+                if *trace_id == 0 {
+                    out.push(TAG_SCORE);
+                    put_u64(&mut out, *request_id);
+                } else {
+                    out.push(TAG_SCORE_V2);
+                    put_u64(&mut out, *request_id);
+                    put_u64(&mut out, *trace_id);
+                }
                 let n_numeric = rows.first().map_or(0, |r| r.numeric.len());
                 put_u32(&mut out, rows.len() as u32);
                 put_u32(&mut out, n_numeric as u32);
@@ -232,6 +342,7 @@ impl Request {
             }
             Request::Shutdown => out.push(TAG_SHUTDOWN),
             Request::Stats => out.push(TAG_STATS),
+            Request::TraceDump => out.push(TAG_TRACE_DUMP),
         }
         out
     }
@@ -240,8 +351,9 @@ impl Request {
     pub fn decode(payload: &[u8]) -> io::Result<Request> {
         let mut c = Cursor::new(payload);
         let req = match c.u8()? {
-            TAG_SCORE => {
+            tag @ (TAG_SCORE | TAG_SCORE_V2) => {
                 let request_id = c.u64()?;
+                let trace_id = if tag == TAG_SCORE_V2 { c.u64()? } else { 0 };
                 let n_rows = c.u32()? as usize;
                 let n_numeric = c.u32()? as usize;
                 if n_rows == 0 {
@@ -273,11 +385,16 @@ impl Request {
                         numeric,
                     });
                 }
-                Request::Score { request_id, rows }
+                Request::Score {
+                    request_id,
+                    trace_id,
+                    rows,
+                }
             }
             TAG_RELOAD => Request::Reload { path: c.str()? },
             TAG_SHUTDOWN => Request::Shutdown,
             TAG_STATS => Request::Stats,
+            TAG_TRACE_DUMP => Request::TraceDump,
             tag => return Err(bad_data(format!("unknown request tag {tag:#04x}"))),
         };
         c.finish()?;
@@ -305,20 +422,46 @@ impl Response {
                 put_str(&mut out, message);
             }
             Response::Ok => out.push(TAG_OK),
-            Response::Stats(s) => {
-                out.push(TAG_STATS_REPLY);
+            Response::Stats { snapshot, window } => {
+                // v1 clients reject trailing bytes, so the windowed
+                // block must ride a distinct tag rather than extend
+                // the v1 body.
+                out.push(if window.is_some() {
+                    TAG_STATS_REPLY_V2
+                } else {
+                    TAG_STATS_REPLY
+                });
                 for v in [
-                    s.requests,
-                    s.rows,
-                    s.ok,
-                    s.overloaded,
-                    s.errors,
-                    s.batches,
-                    s.reloads,
-                    s.queue_depth,
+                    snapshot.requests,
+                    snapshot.rows,
+                    snapshot.ok,
+                    snapshot.overloaded,
+                    snapshot.errors,
+                    snapshot.batches,
+                    snapshot.reloads,
+                    snapshot.queue_depth,
                 ] {
                     put_u64(&mut out, v);
                 }
+                if let Some(w) = window {
+                    put_f64(&mut out, w.window_secs);
+                    for s in [
+                        &w.request_latency_us,
+                        &w.queue_wait_us,
+                        &w.compute_us,
+                        &w.reply_write_us,
+                        &w.queue_depth,
+                    ] {
+                        put_u64(&mut out, s.count);
+                        put_f64(&mut out, s.p50);
+                        put_f64(&mut out, s.p95);
+                        put_f64(&mut out, s.p99);
+                    }
+                }
+            }
+            Response::TraceDump { json } => {
+                out.push(TAG_TRACE_DUMP_REPLY);
+                put_str(&mut out, json);
             }
         }
         out
@@ -343,16 +486,42 @@ impl Response {
             TAG_OVERLOADED => Response::Overloaded,
             TAG_ERROR => Response::Error { message: c.str()? },
             TAG_OK => Response::Ok,
-            TAG_STATS_REPLY => Response::Stats(StatsSnapshot {
-                requests: c.u64()?,
-                rows: c.u64()?,
-                ok: c.u64()?,
-                overloaded: c.u64()?,
-                errors: c.u64()?,
-                batches: c.u64()?,
-                reloads: c.u64()?,
-                queue_depth: c.u64()?,
-            }),
+            tag @ (TAG_STATS_REPLY | TAG_STATS_REPLY_V2) => {
+                let snapshot = StatsSnapshot {
+                    requests: c.u64()?,
+                    rows: c.u64()?,
+                    ok: c.u64()?,
+                    overloaded: c.u64()?,
+                    errors: c.u64()?,
+                    batches: c.u64()?,
+                    reloads: c.u64()?,
+                    queue_depth: c.u64()?,
+                };
+                let window = if tag == TAG_STATS_REPLY_V2 {
+                    let window_secs = c.f64()?;
+                    let mut summaries = [QuantileSummary::default(); 5];
+                    for s in &mut summaries {
+                        *s = QuantileSummary {
+                            count: c.u64()?,
+                            p50: c.f64()?,
+                            p95: c.f64()?,
+                            p99: c.f64()?,
+                        };
+                    }
+                    Some(Box::new(WindowedStats {
+                        window_secs,
+                        request_latency_us: summaries[0],
+                        queue_wait_us: summaries[1],
+                        compute_us: summaries[2],
+                        reply_write_us: summaries[3],
+                        queue_depth: summaries[4],
+                    }))
+                } else {
+                    None
+                };
+                Response::Stats { snapshot, window }
+            }
+            TAG_TRACE_DUMP_REPLY => Response::TraceDump { json: c.str()? },
             tag => return Err(bad_data(format!("unknown response tag {tag:#04x}"))),
         };
         c.finish()?;
@@ -369,6 +538,10 @@ fn put_u32(out: &mut Vec<u8>, v: u32) {
 }
 
 fn put_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_f64(out: &mut Vec<u8>, v: f64) {
     out.extend_from_slice(&v.to_le_bytes());
 }
 
@@ -427,6 +600,10 @@ impl<'a> Cursor<'a> {
         Ok(f32::from_le_bytes(self.take(4)?.try_into().unwrap()))
     }
 
+    fn f64(&mut self) -> io::Result<f64> {
+        Ok(f64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+
     fn str(&mut self) -> io::Result<String> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
@@ -459,23 +636,81 @@ mod tests {
         }
     }
 
+    fn sample_stats() -> StatsSnapshot {
+        StatsSnapshot {
+            requests: 1,
+            rows: 2,
+            ok: 3,
+            overloaded: 4,
+            errors: 5,
+            batches: 6,
+            reloads: 7,
+            queue_depth: 8,
+        }
+    }
+
+    fn sample_window() -> WindowedStats {
+        let s = |k: u64| QuantileSummary {
+            count: k,
+            p50: 1.5 * k as f64,
+            p95: 9.5 * k as f64,
+            p99: 99.0 * k as f64,
+        };
+        WindowedStats {
+            window_secs: 60.0,
+            request_latency_us: s(10),
+            queue_wait_us: s(11),
+            compute_us: s(3),
+            reply_write_us: s(10),
+            queue_depth: s(21),
+        }
+    }
+
     #[test]
     fn requests_round_trip() {
         let cases = vec![
             Request::Score {
                 request_id: 77,
+                trace_id: 0,
                 rows: vec![row(0), row(10)],
+            },
+            Request::Score {
+                request_id: 78,
+                trace_id: 0xABCD_EF01,
+                rows: vec![row(4)],
             },
             Request::Reload {
                 path: "/tmp/model.amoe".into(),
             },
             Request::Shutdown,
             Request::Stats,
+            Request::TraceDump,
         ];
         for req in cases {
             let decoded = Request::decode(&req.encode()).expect("decode");
             assert_eq!(decoded, req);
         }
+    }
+
+    #[test]
+    fn untraced_score_keeps_v1_wire_shape() {
+        // A zero trace id must encode byte-for-byte as a v1 SCORE
+        // frame so v1 servers accept it.
+        let payload = Request::Score {
+            request_id: 5,
+            trace_id: 0,
+            rows: vec![row(1)],
+        }
+        .encode();
+        assert_eq!(payload[0], TAG_SCORE);
+        let traced = Request::Score {
+            request_id: 5,
+            trace_id: 9,
+            rows: vec![row(1)],
+        }
+        .encode();
+        assert_eq!(traced[0], TAG_SCORE_V2);
+        assert_eq!(traced.len(), payload.len() + 8);
     }
 
     #[test]
@@ -490,16 +725,17 @@ mod tests {
                 message: "bad id".into(),
             },
             Response::Ok,
-            Response::Stats(StatsSnapshot {
-                requests: 1,
-                rows: 2,
-                ok: 3,
-                overloaded: 4,
-                errors: 5,
-                batches: 6,
-                reloads: 7,
-                queue_depth: 8,
-            }),
+            Response::Stats {
+                snapshot: sample_stats(),
+                window: None,
+            },
+            Response::Stats {
+                snapshot: sample_stats(),
+                window: Some(Box::new(sample_window())),
+            },
+            Response::TraceDump {
+                json: "{\"traceEvents\":[]}".into(),
+            },
         ];
         for resp in cases {
             let decoded = Response::decode(&resp.encode()).expect("decode");
@@ -508,9 +744,29 @@ mod tests {
     }
 
     #[test]
+    fn windowless_stats_reply_keeps_v1_wire_shape() {
+        let payload = Response::Stats {
+            snapshot: sample_stats(),
+            window: None,
+        }
+        .encode();
+        // v1 layout: tag + 8 × u64, nothing else (v1 clients reject
+        // trailing bytes).
+        assert_eq!(payload.len(), 1 + 8 * 8);
+        assert_eq!(payload[0], TAG_STATS_REPLY);
+        let v2 = Response::Stats {
+            snapshot: sample_stats(),
+            window: Some(Box::new(sample_window())),
+        }
+        .encode();
+        assert_eq!(v2[0], TAG_STATS_REPLY_V2);
+    }
+
+    #[test]
     fn frames_round_trip_over_a_pipe() {
         let payload = Request::Score {
             request_id: 1,
+            trace_id: 0,
             rows: vec![row(3)],
         }
         .encode();
@@ -523,9 +779,22 @@ mod tests {
     #[test]
     fn handshake_rejects_wrong_magic() {
         let mut wire = Vec::new();
-        write_handshake(&mut wire).unwrap();
+        write_hello(&mut wire, VERSION).unwrap();
         wire[0] = b'X';
-        assert!(read_handshake(&mut &wire[..]).is_err());
+        assert!(read_hello(&mut &wire[..]).is_err());
+    }
+
+    #[test]
+    fn handshake_negotiation_clamps_to_supported_range() {
+        let mut wire = Vec::new();
+        write_hello(&mut wire, VERSION).unwrap();
+        assert_eq!(read_hello(&mut &wire[..]).unwrap(), VERSION);
+        // A v1 peer negotiates down; a futuristic peer clamps to ours;
+        // version 0 is a corrupt hello.
+        assert_eq!(negotiate(1).unwrap(), 1);
+        assert_eq!(negotiate(VERSION).unwrap(), VERSION);
+        assert_eq!(negotiate(99).unwrap(), VERSION);
+        assert!(negotiate(0).is_err());
     }
 
     #[test]

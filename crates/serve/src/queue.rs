@@ -32,6 +32,12 @@ struct State<T> {
     closed: bool,
 }
 
+/// Callback observing the queue depth after every push/pop, invoked
+/// **while the queue lock is held** so the observed depth can never be
+/// stale (a read-then-set from outside the lock races concurrent
+/// pops). Keep it cheap; it must not touch the queue.
+type DepthObserver = Box<dyn Fn(usize) + Send + Sync>;
+
 /// A bounded multi-producer single-consumer queue.
 pub struct RequestQueue<T> {
     state: Mutex<State<T>>,
@@ -40,6 +46,9 @@ pub struct RequestQueue<T> {
     /// Signals producers when space frees up.
     not_full: Condvar,
     cap: usize,
+    /// Installed once at construction time (before the queue is
+    /// shared), hence no lock of its own.
+    observer: Option<DepthObserver>,
 }
 
 impl<T> RequestQueue<T> {
@@ -55,6 +64,21 @@ impl<T> RequestQueue<T> {
             not_empty: Condvar::new(),
             not_full: Condvar::new(),
             cap,
+            observer: None,
+        }
+    }
+
+    /// Installs the depth observer (see [`DepthObserver`]). Takes
+    /// `&mut self`: set it before the queue is shared.
+    pub fn set_depth_observer(&mut self, f: impl Fn(usize) + Send + Sync + 'static) {
+        self.observer = Some(Box::new(f));
+    }
+
+    /// Reports `depth` to the observer. Callers hold the state lock,
+    /// which is what makes the published depth exact.
+    fn observe(&self, depth: usize) {
+        if let Some(obs) = &self.observer {
+            obs(depth);
         }
     }
 
@@ -98,6 +122,7 @@ impl<T> RequestQueue<T> {
             }
         }
         st.items.push_back(item);
+        self.observe(st.items.len());
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -109,6 +134,7 @@ impl<T> RequestQueue<T> {
         let mut st = self.state.lock().unwrap();
         loop {
             if let Some(item) = st.items.pop_front() {
+                self.observe(st.items.len());
                 drop(st);
                 self.not_full.notify_one();
                 return Some(item);
@@ -127,6 +153,7 @@ impl<T> RequestQueue<T> {
         let mut st = self.state.lock().unwrap();
         loop {
             if let Some(item) = st.items.pop_front() {
+                self.observe(st.items.len());
                 drop(st);
                 self.not_full.notify_one();
                 return Some(item);
@@ -220,6 +247,33 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.close();
         assert_eq!(consumer.join().unwrap(), None);
+    }
+
+    #[test]
+    fn depth_observer_sees_every_transition_under_the_lock() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let depths = Arc::new(Mutex::new(Vec::new()));
+        let last = Arc::new(AtomicUsize::new(usize::MAX));
+        let mut q = RequestQueue::new(4);
+        {
+            let depths = Arc::clone(&depths);
+            let last = Arc::clone(&last);
+            q.set_depth_observer(move |d| {
+                depths.lock().unwrap().push(d);
+                last.store(d, Ordering::SeqCst);
+            });
+        }
+        q.push(1, OverloadPolicy::Reject).unwrap();
+        q.push(2, OverloadPolicy::Reject).unwrap();
+        assert_eq!(q.pop_wait(), Some(1));
+        q.push(3, OverloadPolicy::Reject).unwrap();
+        assert_eq!(q.pop_until(Instant::now()), Some(2));
+        assert_eq!(q.pop_wait(), Some(3));
+        // One observation per transition, each the exact post-op depth.
+        assert_eq!(*depths.lock().unwrap(), vec![1, 2, 1, 2, 1, 0]);
+        // The final published depth matches reality — the property the
+        // old read-then-set gauge could violate.
+        assert_eq!(last.load(Ordering::SeqCst), q.len());
     }
 
     #[test]

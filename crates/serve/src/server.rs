@@ -6,23 +6,55 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use amoe_core::ranker::OptimConfig;
 use amoe_core::serving::ServingModel;
 use amoe_core::{GateInput, MoeConfig, MoeModel};
 use amoe_dataset::{Batch, DatasetMeta};
 use amoe_nn::ParamSet;
+use amoe_obs::trace;
+use amoe_obs::WindowedHistogram;
 use amoe_tensor::Matrix;
 
 use crate::batcher::{self, Pending};
 use crate::config::ServeConfig;
-use crate::protocol::{self, FeatureRow, Request, Response, StatsSnapshot};
+use crate::protocol::{
+    self, FeatureRow, QuantileSummary, Request, Response, StatsSnapshot, WindowedStats,
+};
 use crate::queue::{PushError, RequestQueue};
 
+/// Sliding-window stage histograms behind the v2 `STATS` quantiles.
+/// Always on (a handful of histogram increments per request),
+/// independent of the `AMOE_OBS` telemetry gate.
+pub(crate) struct ServeWindows {
+    /// End-to-end request latency (admission → reply written), µs.
+    pub request_latency_us: WindowedHistogram,
+    /// Admission-queue wait per request, µs.
+    pub queue_wait_us: WindowedHistogram,
+    /// Model compute per batch, µs.
+    pub compute_us: WindowedHistogram,
+    /// Reply serialisation + socket write per request, µs.
+    pub reply_write_us: WindowedHistogram,
+    /// Queue depth observed at every push/pop.
+    pub queue_depth: WindowedHistogram,
+}
+
+impl ServeWindows {
+    fn new(window: Duration) -> Self {
+        let mk = || WindowedHistogram::new(window, amoe_obs::window::DEFAULT_SLOTS);
+        ServeWindows {
+            request_latency_us: mk(),
+            queue_wait_us: mk(),
+            compute_us: mk(),
+            reply_write_us: mk(),
+            queue_depth: mk(),
+        }
+    }
+}
+
 /// Monotonic service counters, updated lock-free by handler threads
-/// and the batcher.
-#[derive(Default)]
+/// and the batcher, plus the sliding-window stage histograms.
 pub struct ServerStats {
     requests: AtomicU64,
     rows: AtomicU64,
@@ -31,11 +63,34 @@ pub struct ServerStats {
     errors: AtomicU64,
     batches: AtomicU64,
     reloads: AtomicU64,
+    /// Allocator for trace batch ids (`fetch_add + 1`, so ids start at
+    /// 1 and 0 stays "no batch").
+    batch_seq: AtomicU64,
+    pub(crate) windows: Mutex<ServeWindows>,
 }
 
 impl ServerStats {
+    fn new(window: Duration) -> Self {
+        ServerStats {
+            requests: AtomicU64::new(0),
+            rows: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            overloaded: AtomicU64::new(0),
+            errors: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            reloads: AtomicU64::new(0),
+            batch_seq: AtomicU64::new(0),
+            windows: Mutex::new(ServeWindows::new(window)),
+        }
+    }
+
     pub(crate) fn note_batch(&self) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocates the next trace batch id (≥ 1).
+    pub(crate) fn next_batch_id(&self) -> u64 {
+        self.batch_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
     fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
@@ -48,6 +103,20 @@ impl ServerStats {
             batches: self.batches.load(Ordering::Relaxed),
             reloads: self.reloads.load(Ordering::Relaxed),
             queue_depth: queue_depth as u64,
+        }
+    }
+
+    /// Folds the sliding windows into the v2 `STATS` quantile block.
+    pub(crate) fn window_stats(&self) -> WindowedStats {
+        let mut w = self.windows.lock().unwrap();
+        let window_secs = w.request_latency_us.window().as_secs_f64();
+        WindowedStats {
+            window_secs,
+            request_latency_us: QuantileSummary::from_histogram(&w.request_latency_us.merged()),
+            queue_wait_us: QuantileSummary::from_histogram(&w.queue_wait_us.merged()),
+            compute_us: QuantileSummary::from_histogram(&w.compute_us.merged()),
+            reply_write_us: QuantileSummary::from_histogram(&w.reply_write_us.merged()),
+            queue_depth: QuantileSummary::from_histogram(&w.queue_depth.merged()),
         }
     }
 }
@@ -69,8 +138,9 @@ pub(crate) struct Shared {
     pub config: ServeConfig,
     /// Set once SHUTDOWN is received.
     pub shutdown: AtomicBool,
-    /// Service counters.
-    pub stats: ServerStats,
+    /// Service counters (`Arc` so the queue's depth observer can hold
+    /// a reference without a cycle through `Shared`).
+    pub stats: Arc<ServerStats>,
     /// Read-half handles of every accepted connection, so shutdown can
     /// unblock handler threads parked in `read_frame` on idle
     /// connections (their write halves stay open for in-flight
@@ -113,14 +183,33 @@ impl Server {
         }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::new(config.stats_window));
+        let mut queue = RequestQueue::new(config.queue_cap);
+        {
+            // Depth accounting runs inside the queue lock, so the
+            // published depth is exact even under concurrent pops
+            // (a read-then-set from outside the lock can go stale).
+            let stats = Arc::clone(&stats);
+            queue.set_depth_observer(move |depth| {
+                stats
+                    .windows
+                    .lock()
+                    .unwrap()
+                    .queue_depth
+                    .record(depth as f64);
+                if amoe_obs::enabled() {
+                    amoe_obs::gauge_set("serve.queue_depth", depth as f64);
+                }
+            });
+        }
         let shared = Arc::new(Shared {
             model_config: model.config().clone(),
             model: Mutex::new(Arc::new(ServingModel::new(model, config.quantized))),
             meta,
-            queue: RequestQueue::new(config.queue_cap),
+            queue,
             config,
             shutdown: AtomicBool::new(false),
-            stats: ServerStats::default(),
+            stats,
             conns: Mutex::new(Vec::new()),
         });
 
@@ -154,6 +243,12 @@ impl Server {
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot(self.shared.queue.len())
+    }
+
+    /// Sliding-window stage quantiles (the v2 `STATS` block).
+    #[must_use]
+    pub fn window_stats(&self) -> WindowedStats {
+        self.shared.stats.window_stats()
     }
 
     /// Blocks until the server has shut down (all connections
@@ -217,13 +312,22 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
     for h in handlers {
         let _ = h.join();
     }
+    // With every request answered, the trace ring is final: export it
+    // to the `AMOE_TRACE` path, if one is configured.
+    if let Some((path, n)) = trace::dump_if_env() {
+        eprintln!("amoe-serve: wrote {n} trace events to {}", path.display());
+    }
 }
 
 fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     // Replies must not sit in the kernel waiting for an ACK.
     let _ = stream.set_nodelay(true);
-    protocol::read_handshake(&mut stream)?;
-    protocol::write_handshake(&mut stream)?;
+    // Version negotiation: the client offers, we answer with
+    // min(client, ours) and speak that for the connection — v1 peers
+    // keep working against a v2 server.
+    let offered = protocol::read_hello(&mut stream)?;
+    let version = protocol::negotiate(offered)?;
+    protocol::write_hello(&mut stream, version)?;
     loop {
         let payload = match protocol::read_frame(&mut stream) {
             Ok(p) => p,
@@ -245,13 +349,26 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<
             }
         };
         match request {
-            Request::Score { request_id, rows } => {
-                handle_score(&mut stream, shared, request_id, rows)?;
+            Request::Score {
+                request_id,
+                trace_id,
+                rows,
+            } => {
+                handle_score(&mut stream, shared, request_id, trace_id, rows)?;
             }
             Request::Reload { path } => handle_reload(&mut stream, shared, &path)?,
             Request::Stats => {
-                let snap = shared.stats.snapshot(shared.queue.len());
-                reply(&mut stream, &Response::Stats(snap))?;
+                let snapshot = shared.stats.snapshot(shared.queue.len());
+                // The windowed block rides a v2-only tag; v1 clients
+                // get the bit-exact v1 reply.
+                let window = (version >= 2).then(|| Box::new(shared.stats.window_stats()));
+                reply(&mut stream, &Response::Stats { snapshot, window })?;
+            }
+            Request::TraceDump => {
+                // An empty document (tracing off) is still valid
+                // Chrome trace JSON, so no special case.
+                let json = trace::chrome_json();
+                reply(&mut stream, &Response::TraceDump { json })?;
             }
             Request::Shutdown => {
                 handle_shutdown(&mut stream, shared)?;
@@ -265,6 +382,7 @@ fn handle_score(
     stream: &mut TcpStream,
     shared: &Arc<Shared>,
     request_id: u64,
+    trace_id: u64,
     rows: Vec<FeatureRow>,
 ) -> io::Result<()> {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
@@ -273,6 +391,15 @@ fn handle_score(
         .rows
         .fetch_add(rows.len() as u64, Ordering::Relaxed);
     let t0 = Instant::now();
+    // A client-supplied id is an explicit ask to trace this request, so
+    // it bypasses sampling; server-assigned ids keep 1-in-N. 0 means
+    // untraced (including whenever tracing is off).
+    let trace_id = if trace_id != 0 && trace::enabled() {
+        trace_id
+    } else {
+        trace::next_trace_id().unwrap_or(0)
+    };
+    let n_rows_in = rows.len() as u64;
 
     let batch = match rows_to_batch(&rows, &shared.meta) {
         Ok(b) => b,
@@ -281,10 +408,21 @@ fn handle_score(
             return reply(stream, &Response::Error { message });
         }
     };
+    if trace_id != 0 {
+        trace::record(
+            trace_id,
+            0,
+            "admitted",
+            trace::instant_ns(t0),
+            trace::now_ns(),
+            n_rows_in,
+        );
+    }
 
     let (tx, rx) = mpsc::channel();
     let pending = Pending {
         batch,
+        trace_id,
         reply: tx,
         enqueued: t0,
     };
@@ -307,13 +445,16 @@ fn handle_score(
             );
         }
     }
-    if amoe_obs::enabled() {
-        amoe_obs::gauge_set("serve.queue_depth", shared.queue.len() as f64);
+    // The `serve.queue_depth` gauge is published by the queue's depth
+    // observer, under the queue lock — not here, where a concurrent pop
+    // could already have made `queue.len()` stale.
+    if trace_id != 0 {
+        trace::record_instant(trace_id, 0, "enqueued", n_rows_in);
     }
 
     // The batcher always answers admitted requests (drain included);
     // a recv error means it panicked.
-    let Ok(scores) = rx.recv() else {
+    let Ok((scores, batch_id)) = rx.recv() else {
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         return reply(
             stream,
@@ -324,9 +465,28 @@ fn handle_score(
     };
     shared.stats.ok.fetch_add(1, Ordering::Relaxed);
     let n_rows = scores.len();
+    let write_t0 = Instant::now();
     let result = reply(stream, &Response::Scores { request_id, scores });
+    let reply_us = write_t0.elapsed().as_micros() as f64;
+    let latency_us = t0.elapsed().as_micros() as u64;
+    {
+        // Always-on windowed stage accounting behind the v2 STATS
+        // quantiles: a couple of histogram increments per request.
+        let mut w = shared.stats.windows.lock().unwrap();
+        w.reply_write_us.record(reply_us);
+        w.request_latency_us.record(latency_us as f64);
+    }
+    if trace_id != 0 {
+        trace::record(
+            trace_id,
+            batch_id,
+            "reply_written",
+            trace::instant_ns(write_t0),
+            trace::now_ns(),
+            n_rows as u64,
+        );
+    }
     if amoe_obs::enabled() {
-        let latency_us = t0.elapsed().as_micros() as u64;
         amoe_obs::counter_add("serve.requests", 1);
         amoe_obs::histogram_record("serve.request_latency_us", latency_us as f64);
         amoe_obs::emit(

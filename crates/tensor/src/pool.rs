@@ -76,6 +76,10 @@
 //! replacement for PR-2's spawn-centric `pool.spawn_ns` question:
 //! steady-state, every region should be a reuse. With telemetry off
 //! the instrumentation is a single relaxed atomic load per region.
+//! Independently, when request tracing is active and the serving
+//! batcher has marked an active batch ([`amoe_obs::trace`]), each
+//! region records one trace event under its histogram name, tagged
+//! with that batch id.
 
 use std::cell::Cell;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -473,6 +477,11 @@ fn drive_region(
 ) {
     debug_assert!(workers >= 2, "drive_region: serial paths stay inline");
     let _region_span = amoe_obs::Span::enter(name);
+    // When the serving batcher marked an active traced batch, the
+    // region shows up in the request trace under its own name — a
+    // single check + two clock reads, nothing when tracing is off.
+    let trace_batch = amoe_obs::trace::active_batch();
+    let trace_t0 = (trace_batch != 0).then(amoe_obs::trace::now_ns);
     amoe_obs::counter_add("pool.regions", 1);
     amoe_obs::counter_add("pool.tasks", (n1 + n2) as u64);
     let shared = shared();
@@ -518,6 +527,16 @@ fn drive_region(
         }
     }
     drop(_quiesce);
+    if let Some(t0) = trace_t0 {
+        amoe_obs::trace::record(
+            0,
+            trace_batch,
+            name,
+            t0,
+            amoe_obs::trace::now_ns(),
+            (n1 + n2) as u64,
+        );
+    }
     if job.panicked.load(Ordering::SeqCst) {
         panic!("pool: worker panicked in parallel region");
     }

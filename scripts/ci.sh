@@ -52,4 +52,20 @@ rm -f target/ci_serve_smoke.jsonl
 AMOE_OBS=target/ci_serve_smoke.jsonl \
   cargo run --release --offline -p amoe-bench --bin load_sweep -- --smoke
 
+step "trace smoke: end-to-end request tracing emits valid Chrome JSON"
+# trace_smoke starts a live server with AMOE_TRACE set, drives traced
+# traffic, and validates both export paths (the TRACE_DUMP frame and
+# the drain-time file) against the Chrome trace-event contract —
+# schema, finite numbers, monotone per-thread timestamps — via
+# amoe_bench::obs_check::validate_chrome_trace.
+rm -f target/ci_trace_smoke.json
+AMOE_TRACE=target/ci_trace_smoke.json \
+  cargo run --release --offline -p amoe-bench --bin trace_smoke
+
+step "noalloc guard: disabled telemetry and tracing allocate nothing"
+# Debug build on purpose: the counting allocator must not be optimised
+# around, and the zero-allocation contract has to hold without the
+# optimiser's help.
+cargo test -q --offline --test obs_noalloc
+
 step "ci green"

@@ -64,6 +64,25 @@ fn disabled_telemetry_allocates_nothing() {
     });
     assert_eq!(n, 0, "disabled timed() allocated {n} times");
 
+    // Span::current_path must be allocation-free when telemetry is off
+    // (it returns the empty string without walking the stack).
+    let (path, n) = alloc_count(adv_hsc_moe::obs::Span::current_path);
+    assert_eq!(path, "");
+    assert_eq!(n, 0, "disabled Span::current_path allocated {n} times");
+
+    // Trace entry points: same contract as the metrics gate — when
+    // tracing is off, recording, id allocation and the active-batch
+    // marker are a relaxed load and nothing else.
+    adv_hsc_moe::obs::trace::set_enabled(false);
+    let ((), n) = alloc_count(|| {
+        adv_hsc_moe::obs::trace::record(1, 1, "noalloc.stage", 0, 10, 0);
+        adv_hsc_moe::obs::trace::record_instant(1, 1, "noalloc.stage", 0);
+        assert_eq!(adv_hsc_moe::obs::trace::next_trace_id(), None);
+        adv_hsc_moe::obs::trace::set_active_batch(7);
+        assert_eq!(adv_hsc_moe::obs::trace::active_batch(), 0);
+    });
+    assert_eq!(n, 0, "disabled trace entry points allocated {n} times");
+
     // Serving hot path: the predict-call allocation count with
     // telemetry off must be exactly reproducible — if the disabled
     // telemetry path allocated anything data-dependent or leaked
