@@ -3,7 +3,7 @@
 //! By default the binary is fully self-contained: it trains a small
 //! model on the synthetic dataset, starts an in-process [`Server`] on
 //! an ephemeral loopback port, and drives it over real TCP through
-//! four stages:
+//! six stages:
 //!
 //! 1. **closed-loop sweep** — N client threads, each firing the next
 //!    request as soon as the previous reply lands; reports p50/p95/p99
@@ -12,10 +12,14 @@
 //!    rate (arrival process independent of service time);
 //! 3. **reload-under-load** — a `RELOAD` hot-swap is issued while the
 //!    closed-loop clients run; every in-flight request must succeed;
-//! 4. **overload burst** — a second server with a tiny queue and a
+//! 4. **sharded sweep** — an open-loop pass against a server per
+//!    shard count (1/2/4 batcher shards), reporting throughput and
+//!    p99 vs shard count and cross-checking the v3 per-shard batcher
+//!    counters against the aggregate snapshot;
+//! 5. **overload burst** — a second server with a tiny queue and a
 //!    throttled batcher takes a burst that must shed load with
 //!    `OVERLOADED` replies;
-//! 5. **quantized serving** — a server with `quantized: true` scores
+//! 6. **quantized serving** — a server with `quantized: true` scores
 //!    the probe rows; TCP-returned scores must stay within the
 //!    documented tolerance of a local f32 oracle on identical weights
 //!    (emitted as a `quant_parity` record), and a closed-loop pass
@@ -25,7 +29,7 @@
 //! event. When `AMOE_OBS` is set the run ends by flushing the sink and
 //! validating the emitted `serve_request` records with the same
 //! schema checks as `obs_smoke` (exit 1 on violation). Pass
-//! `--addr HOST:PORT` to drive an external server instead (stages 3-4
+//! `--addr HOST:PORT` to drive an external server instead (stages 3-6
 //! and the JSONL validation are skipped: they need server-side
 //! control). `--smoke` / `AMOE_BENCH_SMOKE=1` shrinks the workload for
 //! CI.
@@ -41,6 +45,7 @@ use amoe_core::ranker::OptimConfig;
 use amoe_core::serving::{ServingMoe, QUANT_SCORE_TOLERANCE};
 use amoe_core::{MoeConfig, MoeModel, Ranker, TowerConfig};
 use amoe_dataset::{generate, Batch, Dataset, Example, GeneratorConfig};
+use amoe_obs::json::Value;
 use amoe_serve::{Client, FeatureRow, ModelSpec, OverloadPolicy, ServeConfig, ServeError, Server};
 
 fn fail(msg: &str) -> ! {
@@ -189,7 +194,7 @@ fn open_loop(
     }
 }
 
-fn report(mode: &str, clients: usize, rows_per_req: usize, result: &StageResult) {
+fn report(mode: &str, clients: usize, rows_per_req: usize, shards: usize, result: &StageResult) {
     if result.latencies_us.is_empty() {
         fail(&format!("{mode}: no successful requests"));
     }
@@ -204,7 +209,7 @@ fn report(mode: &str, clients: usize, rows_per_req: usize, result: &StageResult)
         fail(&format!("{mode}: zero throughput"));
     }
     println!(
-        "load_sweep[{mode}] clients={clients} rows/req={rows_per_req} \
+        "load_sweep[{mode}] clients={clients} rows/req={rows_per_req} shards={shards} \
          ok={} overloaded={} p50={p50:.0}us p95={p95:.0}us p99={p99:.0}us {throughput:.0} req/s",
         result.latencies_us.len(),
         result.overloaded,
@@ -214,6 +219,7 @@ fn report(mode: &str, clients: usize, rows_per_req: usize, result: &StageResult)
             .str("mode", mode)
             .u64("clients", clients as u64)
             .u64("rows_per_req", rows_per_req as u64)
+            .u64("shards", shards as u64)
             .u64("sent", result.sent)
             .u64("ok", result.latencies_us.len() as u64)
             .u64("overloaded", result.overloaded)
@@ -272,10 +278,10 @@ fn main() {
             .unwrap_or_else(|_| fail("--addr: expected HOST:PORT"));
         for &clients in &client_counts {
             let result = closed_loop(addr, &pool, clients, requests, rows_per_req);
-            report("closed", clients, rows_per_req, &result);
+            report("closed", clients, rows_per_req, 1, &result);
         }
         let result = open_loop(addr, &pool, 2, requests, rows_per_req, 200.0);
-        report("open", 2, rows_per_req, &result);
+        report("open", 2, rows_per_req, 1, &result);
         println!("load_sweep: OK (external server)");
         return;
     }
@@ -316,11 +322,11 @@ fn main() {
 
     for &clients in &client_counts {
         let result = closed_loop(addr, &pool, clients, requests, rows_per_req);
-        report("closed", clients, rows_per_req, &result);
+        report("closed", clients, rows_per_req, 1, &result);
     }
 
     let result = open_loop(addr, &pool, 2, requests, rows_per_req, 200.0);
-    report("open", 2, rows_per_req, &result);
+    report("open", 2, rows_per_req, 1, &result);
 
     // Reload under load: swap checkpoints while closed-loop clients
     // hammer the server. closed_loop() aborts on any non-OVERLOADED
@@ -341,7 +347,7 @@ fn main() {
         reloader
             .join()
             .unwrap_or_else(|_| fail("reloader panicked"));
-        report("reload", 4, rows_per_req, &result);
+        report("reload", 4, rows_per_req, 1, &result);
     }
 
     let stats = {
@@ -363,6 +369,60 @@ fn main() {
         ));
     }
 
+    // Sharded sweep: the same deterministic model served with 1/2/4
+    // batcher shards under an identical open-loop arrival schedule, so
+    // the reported throughput/p99 differences are attributable to the
+    // shard count alone. The v3 per-shard counters must account for
+    // every batch and show work on every shard.
+    for shards in [1usize, 2, 4] {
+        let (model, _) = build_model(&dataset, if smoke { 6 } else { 20 });
+        let shard_server = Server::start(
+            "127.0.0.1:0",
+            model,
+            dataset.meta.clone(),
+            ServeConfig {
+                shards,
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("sharded server start ({shards} shards): {e}")));
+        let shard_addr = shard_server.local_addr();
+        let result = open_loop(shard_addr, &pool, 4, requests, rows_per_req, 400.0);
+        report("sharded", 4, rows_per_req, shards, &result);
+
+        let mut admin = Client::connect(shard_addr)
+            .unwrap_or_else(|e| fail(&format!("sharded admin connect: {e}")));
+        let (snapshot, _, shard_stats) = admin
+            .stats_report()
+            .unwrap_or_else(|e| fail(&format!("sharded stats: {e}")));
+        let shard_stats =
+            shard_stats.unwrap_or_else(|| fail("v3 stats reply is missing the shard block"));
+        if shard_stats.len() != shards {
+            fail(&format!(
+                "expected {shards} shard stat entries, got {}",
+                shard_stats.len()
+            ));
+        }
+        let batch_sum: u64 = shard_stats.iter().map(|s| s.batches).sum();
+        if batch_sum != snapshot.batches {
+            fail(&format!(
+                "per-shard batches sum to {batch_sum}, aggregate counted {}",
+                snapshot.batches
+            ));
+        }
+        // Client ids are sequential from 1, and shard_of spreads
+        // them, so with hundreds of requests every shard batches.
+        for (i, s) in shard_stats.iter().enumerate() {
+            if s.batches == 0 {
+                fail(&format!("shard {i}/{shards} never ran a batch"));
+            }
+        }
+        admin
+            .shutdown()
+            .unwrap_or_else(|e| fail(&format!("sharded shutdown: {e}")));
+        shard_server.join();
+    }
+
     // Overload burst: tiny queue + throttled batcher guarantees the
     // queue fills; the burst must see OVERLOADED, not errors or hangs.
     {
@@ -382,7 +442,7 @@ fn main() {
         .unwrap_or_else(|e| fail(&format!("overload server start: {e}")));
         let over_addr = over_server.local_addr();
         let result = closed_loop(over_addr, &pool, 8, if smoke { 6 } else { 12 }, 1);
-        report("overload", 8, 1, &result);
+        report("overload", 8, 1, 1, &result);
         let mut admin = Client::connect(over_addr)
             .unwrap_or_else(|e| fail(&format!("overload admin connect: {e}")));
         let stats = admin
@@ -457,7 +517,7 @@ fn main() {
         );
 
         let result = closed_loop(q_addr, &pool, 2, requests, rows_per_req);
-        report("quant", 2, rows_per_req, &result);
+        report("quant", 2, rows_per_req, 1, &result);
 
         probe
             .shutdown()
@@ -474,6 +534,7 @@ fn main() {
         let records = obs_check::validate_jsonl(&body).unwrap_or_else(|e| fail(&e));
         let mut serve_requests = 0usize;
         let mut quant_parity = 0usize;
+        let mut sharded_rows = 0usize;
         for r in &records {
             let checked = match r.kind.as_str() {
                 "serve_request" => {
@@ -481,26 +542,38 @@ fn main() {
                     obs_check::require_fields(
                         &r.value,
                         "serve_request",
-                        &["request_id", "rows", "latency_us", "queue_depth"],
+                        &["request_id", "rows", "shard", "latency_us", "queue_depth"],
                     )
                 }
                 "serve_batch" => obs_check::require_fields(
                     &r.value,
                     "serve_batch",
-                    &["requests", "rows", "queue_wait_us_max", "queue_depth"],
-                ),
-                "load_sweep_row" => obs_check::require_fields(
-                    &r.value,
-                    "load_sweep_row",
                     &[
-                        "mode",
-                        "clients",
-                        "p50_us",
-                        "p95_us",
-                        "p99_us",
-                        "throughput_rps",
+                        "shard",
+                        "requests",
+                        "rows",
+                        "queue_wait_us_max",
+                        "queue_depth",
                     ],
                 ),
+                "load_sweep_row" => {
+                    if r.value.get("mode").and_then(Value::as_str) == Some("sharded") {
+                        sharded_rows += 1;
+                    }
+                    obs_check::require_fields(
+                        &r.value,
+                        "load_sweep_row",
+                        &[
+                            "mode",
+                            "clients",
+                            "shards",
+                            "p50_us",
+                            "p95_us",
+                            "p99_us",
+                            "throughput_rps",
+                        ],
+                    )
+                }
                 "quant_parity" => {
                     quant_parity += 1;
                     obs_check::require_fields(
@@ -519,10 +592,17 @@ fn main() {
         if quant_parity == 0 {
             fail(&format!("no quant_parity record in {path}"));
         }
+        if sharded_rows < 3 {
+            fail(&format!(
+                "expected a load_sweep_row per shard count (1/2/4), found {sharded_rows} in {path}"
+            ));
+        }
         println!(
-            "load_sweep: OK — {} JSONL records ({} serve_request) validated in {path}",
+            "load_sweep: OK — {} JSONL records ({} serve_request, {} sharded rows) \
+             validated in {path}",
             records.len(),
-            serve_requests
+            serve_requests,
+            sharded_rows
         );
     } else {
         println!("load_sweep: OK");

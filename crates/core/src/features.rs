@@ -147,6 +147,42 @@ impl FeatureEncoder {
         }
     }
 
+    /// Tape-free inference-gate input under a [`GateInput`] setting,
+    /// column-for-column identical to [`FeatureEncoder::gate_input`]
+    /// evaluated on the same parameters. This is what lets the serving
+    /// path score every gate-input ablation, not just `Sc`.
+    #[must_use]
+    pub fn gate_input_infer(&self, params: &ParamSet, batch: &Batch, which: GateInput) -> Matrix {
+        match which {
+            GateInput::Sc => self.sc.infer(params, &batch.sc),
+            GateInput::TcSc => Matrix::hcat(&[
+                &self.tc.infer(params, &batch.tc),
+                &self.sc.infer(params, &batch.sc),
+            ]),
+            GateInput::QueryTcSc => {
+                let q = self
+                    .query
+                    .as_ref()
+                    .expect("FeatureEncoder: query embedding not built for this config")
+                    .infer(params, &batch.query);
+                Matrix::hcat(&[
+                    &q,
+                    &self.tc.infer(params, &batch.tc),
+                    &self.sc.infer(params, &batch.sc),
+                ])
+            }
+            GateInput::UserTcSc => Matrix::hcat(&[
+                &self.user_segment.infer(params, &batch.user_segment),
+                &self.tc.infer(params, &batch.tc),
+                &self.sc.infer(params, &batch.sc),
+            ]),
+            GateInput::All => Matrix::hcat(&[
+                &self.input_infer(params, batch),
+                &self.tc.infer(params, &batch.tc),
+            ]),
+        }
+    }
+
     /// Number of numeric features.
     #[must_use]
     pub fn n_numeric(&self) -> usize {
@@ -249,6 +285,32 @@ mod tests {
         let bound = ps.bind(&tape);
         let g = enc.gate_input(&tape, &bound, &batch, GateInput::All);
         assert_eq!(g.shape().1, cfg.gate_input_dim(&d.meta));
+    }
+
+    #[test]
+    fn gate_input_infer_matches_tape_for_every_variant() {
+        let (d, _) = setup();
+        for which in [
+            GateInput::Sc,
+            GateInput::TcSc,
+            GateInput::QueryTcSc,
+            GateInput::UserTcSc,
+            GateInput::All,
+        ] {
+            let cfg = MoeConfig {
+                gate_input: which,
+                ..Default::default()
+            };
+            let mut ps = ParamSet::new();
+            let mut rng = Rng::seed_from(6);
+            let enc = FeatureEncoder::new(&mut ps, &d.meta, &cfg, &mut rng);
+            let batch = Batch::from_split(&d.train, &[2, 5, 9]);
+            let tape = Tape::new();
+            let bound = ps.bind(&tape);
+            let on_tape = enc.gate_input(&tape, &bound, &batch, which).value();
+            let inferred = enc.gate_input_infer(&ps, &batch, which);
+            assert_close(&on_tape, &inferred, 1e-6, 1e-7);
+        }
     }
 
     #[test]

@@ -221,18 +221,13 @@ impl MoeModel {
         self.encoder.input_infer(&self.params, batch)
     }
 
-    /// Tape-free inference-gate input for serving.
-    ///
-    /// # Panics
-    /// Panics for ablation gate inputs other than [`crate::config::GateInput::Sc`] —
-    /// only the paper's production configuration has a serving path.
+    /// Tape-free inference-gate input for serving, honouring the
+    /// configured [`crate::config::GateInput`] ablation (every variant
+    /// is servable, matching the tape path column for column).
     #[must_use]
     pub fn gate_input_infer(&self, batch: &Batch) -> Matrix {
-        assert!(
-            matches!(self.config.gate_input, crate::config::GateInput::Sc),
-            "serving supports the SC gate input only (the paper's deployed configuration)"
-        );
-        self.encoder.sc_embedding_infer(&self.params, batch)
+        self.encoder
+            .gate_input_infer(&self.params, batch, self.config.gate_input)
     }
 
     /// Tape-free clean gate logits for serving.

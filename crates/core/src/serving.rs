@@ -315,21 +315,36 @@ impl<'m> ServingMoe<'m> {
     /// construction).
     #[must_use]
     pub fn predict_many(&self, parts: &[&Batch]) -> Vec<Vec<f32>> {
+        self.predict_many_with_stats(parts).0
+    }
+
+    /// [`ServingMoe::predict_many`] plus the [`Stats`] of the single
+    /// coalesced forward, so callers (the serve batcher shards) can
+    /// attribute gate/expert/scatter time per batch without a second
+    /// instrumentation pass.
+    ///
+    /// # Panics
+    /// Panics if `parts` is empty (batches are never empty by
+    /// construction).
+    #[must_use]
+    pub fn predict_many_with_stats(&self, parts: &[&Batch]) -> (Vec<Vec<f32>>, Stats) {
         assert!(!parts.is_empty(), "predict_many: no request parts");
         let merged;
-        let scores = if parts.len() == 1 {
-            self.predict(parts[0])
+        let whole: &Batch = if parts.len() == 1 {
+            parts[0]
         } else {
             merged = Batch::concat(parts);
-            self.predict(&merged)
+            &merged
         };
+        let (logits, stats) = self.predict_logits_with_stats(whole);
+        let scores = ops::sigmoid(&Matrix::from_vec(whole.len(), 1, logits)).into_vec();
         let mut out = Vec::with_capacity(parts.len());
         let mut offset = 0;
         for p in parts {
             out.push(scores[offset..offset + p.len()].to_vec());
             offset += p.len();
         }
-        out
+        (out, stats)
     }
 
     /// Raw ensemble logits plus per-call instrumentation.
@@ -578,6 +593,50 @@ mod tests {
                 &format!("prediction {i} dense vs sparse"),
             );
         }
+    }
+
+    #[test]
+    fn sparse_serving_matches_dense_for_every_gate_input() {
+        use crate::config::GateInput;
+        let d = generate(&GeneratorConfig::tiny(43));
+        for which in [
+            GateInput::Sc,
+            GateInput::TcSc,
+            GateInput::QueryTcSc,
+            GateInput::UserTcSc,
+            GateInput::All,
+        ] {
+            let cfg = MoeConfig {
+                n_experts: 4,
+                top_k: 2,
+                gate_input: which,
+                tower: TowerConfig { hidden: vec![8] },
+                ..MoeConfig::default()
+            };
+            let mut m = MoeModel::new(&d.meta, cfg, OptimConfig::default());
+            let batch = Batch::from_split(&d.train, &(0..64).collect::<Vec<_>>());
+            for _ in 0..4 {
+                m.train_step(&batch);
+            }
+            let probe = Batch::from_split(&d.test, &(0..32).collect::<Vec<_>>());
+            let dense = m.predict(&probe);
+            let sparse = ServingMoe::new(&m).predict(&probe);
+            for (i, (a, b)) in dense.iter().zip(&sparse).enumerate() {
+                assert_close_rel(*a, *b, 0.0, 1e-5, &format!("{which:?} prediction {i}"));
+            }
+        }
+    }
+
+    #[test]
+    fn predict_many_with_stats_is_bit_identical_to_predict_many() {
+        let (d, m) = trained_model();
+        let a = Batch::from_split(&d.test, &(0..7).collect::<Vec<_>>());
+        let b = Batch::from_split(&d.test, &(7..19).collect::<Vec<_>>());
+        let serving = ServingMoe::new(&m);
+        let plain = serving.predict_many(&[&a, &b]);
+        let (with_stats, stats) = serving.predict_many_with_stats(&[&a, &b]);
+        assert_eq!(plain, with_stats);
+        assert_eq!(stats.examples, 19);
     }
 
     #[test]

@@ -87,8 +87,10 @@ static STATE: AtomicU8 = AtomicU8::new(0);
 static SAMPLE: AtomicU64 = AtomicU64::new(1);
 /// Monotone allocator for server-assigned trace ids.
 static NEXT_ID: AtomicU64 = AtomicU64::new(1);
-/// The batch currently in compute (`0` = none). Written only by the
-/// single batcher thread, read by the forward path and the pool.
+/// The batch currently in compute (`0` = none). Owned by whichever
+/// batcher shard wins [`try_claim_active_batch`] (or by a single-owner
+/// embedder via [`set_active_batch`]); read by the forward path and
+/// the pool.
 static ACTIVE_BATCH: AtomicU64 = AtomicU64::new(0);
 /// Export path from `AMOE_TRACE` (or [`set_trace_path`]).
 static DUMP_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
@@ -248,13 +250,39 @@ pub fn next_trace_id() -> Option<u64> {
 
 /// Marks `batch_id` as the batch currently in compute (`0` = none), so
 /// the gate/expert/scatter forward path and the worker pool can tag
-/// their events without plumbing an id through every signature. Sound
-/// because one batcher thread owns the compute pipeline.
+/// their events without plumbing an id through every signature. Only
+/// sound when a single thread owns the compute pipeline (benches,
+/// tests); concurrent batcher shards must use
+/// [`try_claim_active_batch`] / [`release_active_batch`] instead.
 pub fn set_active_batch(batch_id: u64) {
     if !enabled() {
         return;
     }
     ACTIVE_BATCH.store(batch_id, Ordering::Relaxed);
+}
+
+/// Attempts to claim the compute marker for `batch_id` (CAS `0 →
+/// batch_id`). Returns `true` when this batch now owns the marker and
+/// must eventually call [`release_active_batch`]. With N batcher
+/// shards computing concurrently only one can hold the marker at a
+/// time; a losing shard's forward events simply go untagged
+/// (`batch_id` 0) instead of being mis-attributed to another shard's
+/// batch.
+#[must_use]
+pub fn try_claim_active_batch(batch_id: u64) -> bool {
+    if !enabled() || batch_id == 0 {
+        return false;
+    }
+    ACTIVE_BATCH
+        .compare_exchange(0, batch_id, Ordering::Relaxed, Ordering::Relaxed)
+        .is_ok()
+}
+
+/// Releases the compute marker if `batch_id` still holds it; a no-op
+/// for non-owners, so paired claim/release never clobbers another
+/// shard's claim.
+pub fn release_active_batch(batch_id: u64) {
+    let _ = ACTIVE_BATCH.compare_exchange(batch_id, 0, Ordering::Relaxed, Ordering::Relaxed);
 }
 
 /// The batch currently in compute (`0` = none / tracing off).
@@ -419,6 +447,26 @@ mod tests {
         assert_eq!(next_trace_id(), None);
         set_active_batch(9);
         assert_eq!(active_batch(), 0);
+    }
+
+    #[test]
+    fn active_batch_claim_is_exclusive_and_release_is_owner_only() {
+        let _g = trace_lock();
+        set_enabled(true);
+        reset();
+        assert!(try_claim_active_batch(7), "first claim wins");
+        assert!(!try_claim_active_batch(9), "second claim loses");
+        assert_eq!(active_batch(), 7);
+        // A non-owner release must not clobber the holder's claim.
+        release_active_batch(9);
+        assert_eq!(active_batch(), 7);
+        release_active_batch(7);
+        assert_eq!(active_batch(), 0);
+        // Claiming batch id 0 (= "none") is meaningless and refused.
+        assert!(!try_claim_active_batch(0));
+        set_enabled(false);
+        assert!(!try_claim_active_batch(3), "disabled tracing never claims");
+        reset();
     }
 
     #[test]

@@ -1,51 +1,90 @@
-//! The dynamic micro-batcher: the single queue consumer.
+//! The dynamic micro-batcher: one flush loop per shard.
 //!
-//! The batcher blocks for the first queued request, then keeps
-//! admitting more until either `max_batch_rows` rows are collected or
-//! `max_wait` has elapsed since the batch opened. The collected
-//! requests are coalesced with [`amoe_dataset::Batch::concat`] into
-//! **one** `ServingMoe::predict` call, and the score vector is
-//! scattered back to each request's reply channel.
+//! Each batcher shard is the single consumer of its own bounded queue
+//! (requests hash to a shard by request id — see
+//! [`crate::server::shard_of`]). A shard blocks for the first queued
+//! request, then keeps admitting more until either `max_batch_rows`
+//! rows are collected or `max_wait` has elapsed since the batch
+//! opened. The collected requests are coalesced with
+//! [`amoe_dataset::Batch::concat`] into **one**
+//! `ServingMoe::predict_many_with_stats` call, and the score vector is
+//! scattered back to each request's reply lane (the per-connection
+//! writer thread on pipelined connections, a per-request channel on
+//! v≤2 ones).
 //!
 //! # Determinism contract
 //!
-//! Coalescing never changes scores: every inference path computes each
-//! row independently (per-row top-K gating, row-blocked matmuls,
-//! per-row scatter in fixed expert order), so a row's score is
-//! bit-identical whether its request was predicted alone or inside any
-//! coalesced batch, at any `AMOE_THREADS` setting. The
-//! `serve_loopback` integration test asserts this end to end. Tracing
-//! observes the pipeline without touching the data path, so the
-//! contract holds at any sample rate.
+//! Neither coalescing nor sharding ever changes scores: every
+//! inference path computes each row independently (per-row top-K
+//! gating, row-blocked matmuls, per-row scatter in fixed expert
+//! order), so a row's score is bit-identical whether its request was
+//! predicted alone or inside any coalesced batch, on any shard, at
+//! any `AMOE_THREADS` setting. The `serve_loopback` integration test
+//! asserts this end to end. Tracing observes the pipeline without
+//! touching the data path, so the contract holds at any sample rate.
 
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::Instant;
 
+use amoe_core::serving;
 use amoe_dataset::Batch;
 use amoe_obs::trace;
 
+use crate::protocol::Response;
 use crate::server::Shared;
 
-/// One admitted score request waiting for the batcher.
+/// One admitted score request waiting for its shard's batcher.
 pub(crate) struct Pending {
     /// Decoded, validated feature rows.
     pub batch: Batch,
+    /// The request's wire correlation id (echoed in the reply).
+    pub request_id: u64,
     /// Request trace id (`0` = untraced).
     pub trace_id: u64,
-    /// Where the handler thread waits for this request's scores, plus
-    /// the id of the batch that computed them (for trace correlation).
-    pub reply: mpsc::Sender<(Vec<f32>, u64)>,
+    /// The reply lane this request's completion goes down. Holding a
+    /// sender is also the drain guarantee on pipelined connections:
+    /// the writer thread cannot exit before every admitted request has
+    /// been answered or dropped.
+    pub reply: mpsc::Sender<WriterMsg>,
     /// Admission time, for queue-wait accounting.
     pub enqueued: Instant,
 }
 
-/// Runs until the queue is closed and drained.
-pub(crate) fn run(shared: &Arc<Shared>) {
+/// A completed score travelling from a batcher shard to a reply lane.
+pub(crate) struct ScoreDone {
+    /// Echo of the request's correlation id.
+    pub request_id: u64,
+    /// Request trace id (`0` = untraced).
+    pub trace_id: u64,
+    /// Admission time, for end-to-end latency accounting.
+    pub enqueued: Instant,
+    /// Which batcher shard computed this request.
+    pub shard: usize,
+    /// The batch that computed the scores (trace correlation).
+    pub batch_id: u64,
+    /// One sigmoid score per submitted row, in row order.
+    pub scores: Vec<f32>,
+}
+
+/// What flows down a connection's reply lane: completions from
+/// whichever batcher shard finishes first, interleaved with in-order
+/// admin responses from the reader.
+pub(crate) enum WriterMsg {
+    /// A score request completed.
+    Done(ScoreDone),
+    /// An in-order admin (or correlated score-error) response.
+    Admin(Response),
+}
+
+/// Runs shard `shard`'s flush loop until its queue is closed and
+/// drained.
+pub(crate) fn run(shared: &Arc<Shared>, shard: usize) {
+    let queue = &shared.queues[shard];
     loop {
         // Block for the request that opens the next batch. `None`
         // means the queue is closed and fully drained: shut down.
-        let Some(first) = shared.queue.pop_wait() else {
+        let Some(first) = queue.pop_wait() else {
             break;
         };
         note_queue_exit(&first);
@@ -53,7 +92,7 @@ pub(crate) fn run(shared: &Arc<Shared>) {
         let mut pending = vec![first];
         let mut rows = pending[0].batch.len();
         while rows < shared.config.max_batch_rows {
-            match shared.queue.pop_until(deadline) {
+            match queue.pop_until(deadline) {
                 Some(p) => {
                     note_queue_exit(&p);
                     rows += p.batch.len();
@@ -74,6 +113,8 @@ pub(crate) fn run(shared: &Arc<Shared>) {
         let traced = pending.iter().any(|p| p.trace_id != 0);
         if traced {
             let t = trace::instant_ns(assembled_at);
+            // Ties this batch id to its shard in the trace stream.
+            trace::record(0, batch_id, "shard", t, t, shard as u64);
             for p in &pending {
                 if p.trace_id != 0 {
                     trace::record(p.trace_id, batch_id, "batch_assembled", t, t, rows as u64);
@@ -88,17 +129,18 @@ pub(crate) fn run(shared: &Arc<Shared>) {
         let parts: Vec<&Batch> = pending.iter().map(|p| &p.batch).collect();
         // Tag the forward path (gate/expert/scatter, pool regions) with
         // this batch while it computes — but only when someone in the
-        // batch is traced, so untraced batches add no events.
-        if traced {
-            trace::set_active_batch(batch_id);
-        }
-        let scores = model.serving().predict_many(&parts);
-        if traced {
-            trace::set_active_batch(0);
+        // batch is traced, so untraced batches add no events. The claim
+        // is a CAS: with several shards computing at once only one can
+        // hold the marker, and a losing shard's forward events go
+        // untagged rather than mis-attributed.
+        let claimed = traced && trace::try_claim_active_batch(batch_id);
+        let (scores, compute) = model.serving().predict_many_with_stats(&parts);
+        if claimed {
+            trace::release_active_batch(batch_id);
         }
 
         let now = Instant::now();
-        shared.stats.note_batch();
+        shared.stats.note_batch(shard);
         {
             // Always-on windowed stage accounting: per-request queue
             // waits (admission → batch assembly) and per-batch compute.
@@ -111,12 +153,19 @@ pub(crate) fn run(shared: &Arc<Shared>) {
                 .record(now.duration_since(assembled_at).as_micros() as f64);
         }
         if amoe_obs::enabled() {
-            record_batch_telemetry(shared, &pending, rows, now);
+            record_batch_telemetry(shared, shard, &pending, rows, now, &compute);
         }
         for (p, s) in pending.into_iter().zip(scores) {
-            // A handler that hung up (client disconnect) makes send
+            // A reply lane that hung up (client disconnect) makes send
             // fail; that request's scores are simply dropped.
-            let _ = p.reply.send((s, batch_id));
+            let _ = p.reply.send(WriterMsg::Done(ScoreDone {
+                request_id: p.request_id,
+                trace_id: p.trace_id,
+                enqueued: p.enqueued,
+                shard,
+                batch_id,
+                scores: s,
+            }));
         }
     }
 }
@@ -129,7 +178,14 @@ fn note_queue_exit(p: &Pending) {
     }
 }
 
-fn record_batch_telemetry(shared: &Arc<Shared>, pending: &[Pending], rows: usize, now: Instant) {
+fn record_batch_telemetry(
+    shared: &Arc<Shared>,
+    shard: usize,
+    pending: &[Pending],
+    rows: usize,
+    now: Instant,
+    compute: &serving::Stats,
+) {
     let mut max_wait_us = 0u64;
     for p in pending {
         let wait_us = now.duration_since(p.enqueued).as_micros() as u64;
@@ -138,15 +194,19 @@ fn record_batch_telemetry(shared: &Arc<Shared>, pending: &[Pending], rows: usize
     }
     amoe_obs::histogram_record("serve.batch_rows", rows as f64);
     amoe_obs::histogram_record("serve.batch_requests", pending.len() as f64);
-    // `serve.queue_depth` is published by the queue's depth observer,
-    // under the queue lock — reading `queue.len()` here could go stale
-    // against concurrent pushes.
+    // Per-shard queue depths are published by each queue's depth
+    // observer, under the queue lock — reading `len()` here could go
+    // stale against concurrent pushes.
     amoe_obs::counter_add("serve.batches", 1);
     amoe_obs::emit(
         &amoe_obs::Event::new("serve_batch")
+            .u64("shard", shard as u64)
             .u64("requests", pending.len() as u64)
             .u64("rows", rows as u64)
             .u64("queue_wait_us_max", max_wait_us)
-            .u64("queue_depth", shared.queue.len() as u64),
+            .u64("queue_depth", shared.queues[shard].len() as u64)
+            .u64("gate_ns", compute.gate_time.as_nanos() as u64)
+            .u64("expert_ns", compute.expert_time.as_nanos() as u64)
+            .u64("scatter_ns", compute.scatter_time.as_nanos() as u64),
     );
 }

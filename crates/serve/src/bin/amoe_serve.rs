@@ -7,21 +7,28 @@
 //!
 //! amoe-serve serve --ckpt FILE --spec FILE [--addr HOST:PORT]
 //!                  [--max-batch-rows N] [--max-wait-us N]
-//!                  [--queue-cap N] [--block-ms N] [--quantized]
+//!                  [--queue-cap N] [--shards N] [--block-ms N]
+//!                  [--quantized]
 //!     Serve the checkpoint over TCP. Prints the bound address on
-//!     stdout, then blocks until a SHUTDOWN request. `--quantized`
-//!     (or `serve_quantized=true` in the spec) serves int8 expert
-//!     weights; see DESIGN.md for the error contract.
+//!     stdout, then blocks until a SHUTDOWN request. `--shards` runs
+//!     N batcher shards, each with its own `--queue-cap`-deep
+//!     admission queue (scores are bit-identical at any shard count).
+//!     `--quantized` (or `serve_quantized=true` in the spec) serves
+//!     int8 expert weights; see DESIGN.md for the error contract.
 //!
 //! amoe-serve stats --addr HOST:PORT [--watch] [--interval-ms N]
-//!     Print the server's counters and sliding-window stage quantiles
-//!     (p50/p95/p99 over the server's stats window). `--watch`
-//!     refreshes every `--interval-ms` (default 1000) until
-//!     interrupted.
+//!     Print the server's counters, sliding-window stage quantiles
+//!     (p50/p95/p99 over the server's stats window) and per-shard
+//!     batcher counters. `--watch` refreshes every `--interval-ms`
+//!     (default 1000) until interrupted.
 //!
 //! amoe-serve trace-dump --addr HOST:PORT [--out FILE]
 //!     Fetch the server's trace ring as Chrome trace-event JSON
 //!     (load in ui.perfetto.dev). Writes FILE or stdout.
+//!
+//! amoe-serve shutdown --addr HOST:PORT
+//!     Ask the server to drain gracefully: every shard queue closes,
+//!     every admitted request is answered, then the process exits.
 //! ```
 
 use std::process::ExitCode;
@@ -32,8 +39,8 @@ use amoe_core::{MoeConfig, MoeModel, Ranker, TowerConfig};
 use amoe_dataset::{generate, Batch, GeneratorConfig};
 use amoe_nn::ParamSet;
 use amoe_serve::{
-    Client, ModelSpec, OverloadPolicy, QuantileSummary, ServeConfig, Server, StatsSnapshot,
-    WindowedStats,
+    Client, ModelSpec, OverloadPolicy, QuantileSummary, ServeConfig, Server, ShardStats,
+    StatsSnapshot, WindowedStats,
 };
 
 fn main() -> ExitCode {
@@ -43,8 +50,9 @@ fn main() -> ExitCode {
         Some("serve") => serve(&args[1..]),
         Some("stats") => stats(&args[1..]),
         Some("trace-dump") => trace_dump(&args[1..]),
+        Some("shutdown") => shutdown(&args[1..]),
         _ => {
-            eprintln!("usage: amoe-serve <demo-export|serve|stats|trace-dump> [options]");
+            eprintln!("usage: amoe-serve <demo-export|serve|stats|trace-dump|shutdown> [options]");
             return ExitCode::FAILURE;
         }
     };
@@ -138,6 +146,12 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = opt_parse::<usize>(args, "--queue-cap")? {
         config.queue_cap = v;
     }
+    if let Some(v) = opt_parse::<usize>(args, "--shards")? {
+        if v == 0 {
+            return Err("serve: --shards must be positive".into());
+        }
+        config.shards = v;
+    }
     if let Some(v) = opt_parse::<u64>(args, "--block-ms")? {
         config.overload = OverloadPolicy::Block(Duration::from_millis(v));
     }
@@ -170,10 +184,10 @@ fn stats(args: &[String]) -> Result<(), String> {
     let interval_ms: u64 = opt_parse(args, "--interval-ms")?.unwrap_or(1000);
     let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
     loop {
-        let (snapshot, window) = client
-            .stats_full()
+        let (snapshot, window, shards) = client
+            .stats_report()
             .map_err(|e| format!("stats from {addr}: {e}"))?;
-        print_stats(&snapshot, window.as_ref());
+        print_stats(&snapshot, window.as_ref(), shards.as_deref());
         if !watch {
             return Ok(());
         }
@@ -182,7 +196,7 @@ fn stats(args: &[String]) -> Result<(), String> {
     }
 }
 
-fn print_stats(s: &StatsSnapshot, w: Option<&WindowedStats>) {
+fn print_stats(s: &StatsSnapshot, w: Option<&WindowedStats>, shards: Option<&[ShardStats]>) {
     println!(
         "requests={} rows={} ok={} overloaded={} errors={} batches={} reloads={} queue_depth={}",
         s.requests, s.rows, s.ok, s.overloaded, s.errors, s.batches, s.reloads, s.queue_depth
@@ -206,6 +220,14 @@ fn print_stats(s: &StatsSnapshot, w: Option<&WindowedStats>) {
             }
         }
     }
+    if let Some(shards) = shards {
+        for (i, sh) in shards.iter().enumerate() {
+            println!(
+                "  shard{i:<11} batches={:<8} overloaded={:<8} queue_depth={:<6} depth_p99={:.1}",
+                sh.batches, sh.overloaded, sh.queue_depth, sh.queue_depth_p99
+            );
+        }
+    }
 }
 
 fn trace_dump(args: &[String]) -> Result<(), String> {
@@ -222,5 +244,13 @@ fn trace_dump(args: &[String]) -> Result<(), String> {
         }
         None => println!("{json}"),
     }
+    Ok(())
+}
+
+fn shutdown(args: &[String]) -> Result<(), String> {
+    let addr = opt(args, "--addr")?.ok_or("shutdown: --addr HOST:PORT is required")?;
+    let mut client = Client::connect(&addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    client.shutdown().map_err(|e| format!("shutdown: {e}"))?;
+    println!("server at {addr} draining");
     Ok(())
 }

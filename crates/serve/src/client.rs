@@ -1,10 +1,23 @@
-//! A minimal synchronous client for the amoe-serve protocol.
+//! A synchronous client for the amoe-serve protocol, with a pipelined
+//! `submit`/`poll` API on v3 connections.
+//!
+//! The classic calls ([`Client::score`], [`Client::reload`], ...) stay
+//! strictly request/response. On a v3 connection the client may also
+//! keep several scores in flight at once: [`Client::submit`] writes a
+//! `SCORE` without waiting, [`Client::poll`] / [`Client::wait`] read
+//! completions in whatever order the server's batcher shards finish
+//! them, matched back to their request by correlation id. Replies for
+//! ids that were never submitted (or already answered) are protocol
+//! errors — the client never silently trusts reply ordering.
 
+use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
 
-use crate::protocol::{self, FeatureRow, Request, Response, StatsSnapshot, WindowedStats};
+use crate::protocol::{
+    self, FeatureRow, Request, Response, ShardStats, StatsSnapshot, WindowedStats,
+};
 
 /// What a serve call can fail with.
 #[derive(Debug)]
@@ -40,13 +53,28 @@ impl From<io::Error> for ServeError {
     }
 }
 
-/// One connection to an amoe-serve server. Requests are synchronous:
-/// each call writes one frame and blocks for the reply. Use one client
-/// per thread for concurrency.
+/// One finished pipelined request: which request, and how it ended.
+#[derive(Debug)]
+pub struct Completion {
+    /// The id [`Client::submit`] returned for this request.
+    pub request_id: u64,
+    /// One score per submitted row in row order, or the request's own
+    /// failure ([`ServeError::Overloaded`], a validation error, ...).
+    pub result: Result<Vec<f32>, ServeError>,
+}
+
+/// One connection to an amoe-serve server. Use one client per thread
+/// for concurrency.
 pub struct Client {
     stream: TcpStream,
     next_id: u64,
     version: u32,
+    /// Submitted but not yet completed request ids → expected row
+    /// count.
+    outstanding: HashMap<u64, usize>,
+    /// Completions read off the wire while looking for something else
+    /// (admin replies, a different `wait` target), in arrival order.
+    completed: VecDeque<Completion>,
 }
 
 impl Client {
@@ -65,6 +93,8 @@ impl Client {
             stream,
             next_id: 1,
             version,
+            outstanding: HashMap::new(),
+            completed: VecDeque::new(),
         })
     }
 
@@ -74,10 +104,170 @@ impl Client {
         self.version
     }
 
-    fn round_trip(&mut self, request: &Request) -> Result<Response, ServeError> {
-        protocol::write_frame(&mut self.stream, &request.encode())?;
+    /// Requests submitted or completed but not yet handed to the
+    /// caller.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.outstanding.len() + self.completed.len()
+    }
+
+    fn read_response(&mut self) -> Result<Response, ServeError> {
         let payload = protocol::read_frame(&mut self.stream)?;
         Response::decode(&payload).map_err(|e| ServeError::Protocol(e.to_string()))
+    }
+
+    /// Writes an admin request and blocks for its reply. On a
+    /// pipelined connection, score completions may arrive first; they
+    /// are stashed for a later [`Client::poll`].
+    fn round_trip(&mut self, request: &Request) -> Result<Response, ServeError> {
+        protocol::write_frame(&mut self.stream, &request.encode())?;
+        loop {
+            let resp = self.read_response()?;
+            if self.is_inflight_completion(&resp) {
+                let done = self.take_completion(resp)?;
+                self.completed.push_back(done);
+                continue;
+            }
+            return Ok(resp);
+        }
+    }
+
+    /// Is this frame the completion of a request we have in flight?
+    fn is_inflight_completion(&self, resp: &Response) -> bool {
+        match resp {
+            Response::Scores { request_id, .. } | Response::ScoreError { request_id, .. } => {
+                self.outstanding.contains_key(request_id)
+            }
+            _ => false,
+        }
+    }
+
+    /// Resolves a score completion frame against the outstanding set.
+    /// A completion for an id we never submitted (or already resolved)
+    /// means the server lost track of the conversation — that is a
+    /// connection-level protocol error, not a per-request failure.
+    fn take_completion(&mut self, resp: Response) -> Result<Completion, ServeError> {
+        match resp {
+            Response::Scores { request_id, scores } => {
+                let Some(expected_rows) = self.outstanding.remove(&request_id) else {
+                    return Err(ServeError::Protocol(format!(
+                        "scores for unknown request id {request_id}"
+                    )));
+                };
+                let result = if scores.len() == expected_rows {
+                    Ok(scores)
+                } else {
+                    Err(ServeError::Protocol(format!(
+                        "{} scores for {} rows",
+                        scores.len(),
+                        expected_rows
+                    )))
+                };
+                Ok(Completion { request_id, result })
+            }
+            Response::ScoreError {
+                request_id,
+                overloaded,
+                message,
+            } => {
+                if self.outstanding.remove(&request_id).is_none() {
+                    return Err(ServeError::Protocol(format!(
+                        "score error for unknown request id {request_id}"
+                    )));
+                }
+                let result = if overloaded {
+                    Err(ServeError::Overloaded)
+                } else {
+                    Err(ServeError::Server(message))
+                };
+                Ok(Completion { request_id, result })
+            }
+            other => Err(ServeError::Protocol(format!(
+                "unexpected response {other:?} while awaiting scores"
+            ))),
+        }
+    }
+
+    /// Submits a score request without waiting for its reply; returns
+    /// the correlation id to pass to [`Client::wait`] (or match
+    /// against [`Client::poll`] completions). Requires a v3
+    /// connection — older servers answer strictly in order.
+    pub fn submit(&mut self, rows: &[FeatureRow]) -> Result<u64, ServeError> {
+        self.submit_inner(rows, 0)
+    }
+
+    /// Like [`Client::submit`], but asks the server to trace this
+    /// request under `trace_id` (non-zero; bypasses trace sampling).
+    pub fn submit_traced(&mut self, rows: &[FeatureRow], trace_id: u64) -> Result<u64, ServeError> {
+        if trace_id == 0 {
+            return Err(ServeError::Protocol("trace_id must be non-zero".into()));
+        }
+        self.submit_inner(rows, trace_id)
+    }
+
+    fn submit_inner(&mut self, rows: &[FeatureRow], trace_id: u64) -> Result<u64, ServeError> {
+        if self.version < 3 {
+            return Err(ServeError::Protocol(format!(
+                "server negotiated protocol v{}: pipelined submit needs v3",
+                self.version
+            )));
+        }
+        let request_id = self.next_id;
+        self.next_id += 1;
+        let request = Request::Score {
+            request_id,
+            trace_id,
+            rows: rows.to_vec(),
+        };
+        protocol::write_frame(&mut self.stream, &request.encode())?;
+        self.outstanding.insert(request_id, rows.len());
+        Ok(request_id)
+    }
+
+    /// Returns the next completion, in whichever order the server
+    /// finished them: a previously stashed one if available, otherwise
+    /// blocks on the wire. Errors with [`ServeError::Protocol`] when
+    /// nothing is in flight.
+    pub fn poll(&mut self) -> Result<Completion, ServeError> {
+        if let Some(done) = self.completed.pop_front() {
+            return Ok(done);
+        }
+        if self.outstanding.is_empty() {
+            return Err(ServeError::Protocol(
+                "poll with no requests in flight".into(),
+            ));
+        }
+        let resp = self.read_response()?;
+        self.take_completion(resp)
+    }
+
+    /// Blocks until `request_id` completes, stashing any other
+    /// completions that arrive first for later [`Client::poll`] calls.
+    pub fn wait(&mut self, request_id: u64) -> Result<Vec<f32>, ServeError> {
+        if let Some(at) = self
+            .completed
+            .iter()
+            .position(|c| c.request_id == request_id)
+        {
+            return self
+                .completed
+                .remove(at)
+                .expect("position is in range")
+                .result;
+        }
+        if !self.outstanding.contains_key(&request_id) {
+            return Err(ServeError::Protocol(format!(
+                "request {request_id} is not in flight"
+            )));
+        }
+        loop {
+            let resp = self.read_response()?;
+            let done = self.take_completion(resp)?;
+            if done.request_id == request_id {
+                return done.result;
+            }
+            self.completed.push_back(done);
+        }
     }
 
     /// Scores a batch of feature rows; returns one score per row, in
@@ -106,6 +296,12 @@ impl Client {
     }
 
     fn score_inner(&mut self, rows: &[FeatureRow], trace_id: u64) -> Result<Vec<f32>, ServeError> {
+        if self.version >= 3 {
+            let request_id = self.submit_inner(rows, trace_id)?;
+            return self.wait(request_id);
+        }
+        // v≤2: strict request/response — the reply is for this request
+        // by construction, but the echo is still verified.
         let request_id = self.next_id;
         self.next_id += 1;
         let resp = self.round_trip(&Request::Score {
@@ -152,8 +348,8 @@ impl Client {
         }
     }
 
-    /// Initiates graceful shutdown: the server drains its queue,
-    /// answers every admitted request, and exits.
+    /// Initiates graceful shutdown: the server drains every shard's
+    /// queue, answers every admitted request, and exits.
     pub fn shutdown(&mut self) -> Result<(), ServeError> {
         match self.round_trip(&Request::Shutdown)? {
             Response::Ok => Ok(()),
@@ -169,11 +365,32 @@ impl Client {
         self.stats_full().map(|(snapshot, _)| snapshot)
     }
 
-    /// Reads the server's counters plus, on v2 connections, the
+    /// Reads the server's counters plus, on v2+ connections, the
     /// sliding-window stage quantiles (`None` from a v1 server).
     pub fn stats_full(&mut self) -> Result<(StatsSnapshot, Option<WindowedStats>), ServeError> {
+        self.stats_report()
+            .map(|(snapshot, window, _)| (snapshot, window))
+    }
+
+    /// Reads counters, window quantiles and, on v3 connections, the
+    /// per-shard batcher counters (`None` from older servers).
+    #[allow(clippy::type_complexity)]
+    pub fn stats_report(
+        &mut self,
+    ) -> Result<
+        (
+            StatsSnapshot,
+            Option<WindowedStats>,
+            Option<Vec<ShardStats>>,
+        ),
+        ServeError,
+    > {
         match self.round_trip(&Request::Stats)? {
-            Response::Stats { snapshot, window } => Ok((snapshot, window.map(|w| *w))),
+            Response::Stats {
+                snapshot,
+                window,
+                shards,
+            } => Ok((snapshot, window.map(|w| *w), shards)),
             Response::Error { message } => Err(ServeError::Server(message)),
             other => Err(ServeError::Protocol(format!(
                 "unexpected response {other:?}"
@@ -196,5 +413,108 @@ impl Client {
                 "unexpected response {other:?}"
             ))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{SocketAddr, TcpListener};
+    use std::thread::JoinHandle;
+
+    fn row() -> FeatureRow {
+        FeatureRow {
+            sc: 0,
+            tc: 0,
+            brand: 0,
+            shop: 0,
+            user_segment: 0,
+            price_bucket: 0,
+            query: 0,
+            numeric: vec![0.5],
+        }
+    }
+
+    /// A hand-rolled one-connection server that answers the hello with
+    /// `min(negotiated, cap)` and then hands the connection to `f` —
+    /// for scripting deliberately broken reply sequences.
+    fn spawn_fake(
+        cap: u32,
+        f: impl FnOnce(TcpStream) + Send + 'static,
+    ) -> (SocketAddr, JoinHandle<()>) {
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("local addr");
+        let handle = std::thread::spawn(move || {
+            let (mut stream, _) = listener.accept().expect("accept");
+            let offered = protocol::read_hello(&mut stream).expect("hello");
+            let version = protocol::negotiate(offered).expect("negotiate").min(cap);
+            protocol::write_hello(&mut stream, version).expect("hello reply");
+            f(stream);
+        });
+        (addr, handle)
+    }
+
+    fn read_score_id(stream: &mut TcpStream) -> u64 {
+        let payload = protocol::read_frame(stream).expect("request frame");
+        match Request::decode(&payload).expect("decode request") {
+            Request::Score { request_id, .. } => request_id,
+            other => panic!("expected a score request, got {other:?}"),
+        }
+    }
+
+    fn write_scores(stream: &mut TcpStream, request_id: u64, scores: Vec<f32>) {
+        let resp = Response::Scores { request_id, scores };
+        protocol::write_frame(stream, &resp.encode()).expect("write scores");
+    }
+
+    #[test]
+    fn reply_with_wrong_request_id_is_a_protocol_error() {
+        let (addr, server) = spawn_fake(3, |mut stream| {
+            let _ = read_score_id(&mut stream);
+            // Reply to an id the client never submitted.
+            write_scores(&mut stream, 999, vec![0.5]);
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let err = client.score(&[row()]).expect_err("mismatched id must fail");
+        assert!(
+            matches!(&err, ServeError::Protocol(m) if m.contains("unknown request id 999")),
+            "unexpected error: {err}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn duplicate_score_reply_is_a_protocol_error() {
+        let (addr, server) = spawn_fake(3, |mut stream| {
+            let first = read_score_id(&mut stream);
+            write_scores(&mut stream, first, vec![0.25]);
+            let _second = read_score_id(&mut stream);
+            // Answer the second request with the first one's id again.
+            write_scores(&mut stream, first, vec![0.25]);
+        });
+        let mut client = Client::connect(addr).expect("connect");
+        let id = client.submit(&[row()]).expect("submit");
+        assert_eq!(client.wait(id).expect("first reply is fine"), vec![0.25]);
+        let _second = client.submit(&[row()]).expect("submit again");
+        let err = client.poll().expect_err("duplicate reply must fail");
+        assert!(
+            matches!(&err, ServeError::Protocol(m) if m.contains("unknown request id")),
+            "unexpected error: {err}"
+        );
+        server.join().unwrap();
+    }
+
+    #[test]
+    fn submit_requires_a_v3_server() {
+        let (addr, server) = spawn_fake(2, |_stream| {});
+        let mut client = Client::connect(addr).expect("connect");
+        assert_eq!(client.negotiated_version(), 2);
+        let err = client.submit(&[row()]).expect_err("v2 cannot pipeline");
+        assert!(
+            matches!(&err, ServeError::Protocol(m) if m.contains("needs v3")),
+            "unexpected error: {err}"
+        );
+        assert_eq!(client.in_flight(), 0);
+        server.join().unwrap();
     }
 }

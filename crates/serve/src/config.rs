@@ -27,8 +27,15 @@ pub struct ServeConfig {
     /// After the first request of a batch arrives, wait at most this
     /// long for more requests before dispatching.
     pub max_wait: Duration,
-    /// Admission queue capacity in *requests* (not rows).
+    /// Admission queue capacity in *requests* (not rows), **per
+    /// batcher shard**.
     pub queue_cap: usize,
+    /// Number of batcher shards. Each shard owns its own bounded queue
+    /// (of `queue_cap` requests) and flush loop; requests hash to a
+    /// shard by request id ([`crate::shard_of`]). Admission control
+    /// and graceful drain are per-shard; scores stay bit-identical to
+    /// the single-shard path at every shard count.
+    pub shards: usize,
     /// Full-queue behaviour.
     pub overload: OverloadPolicy,
     /// Test-only throttle: sleep this long before every model call so
@@ -55,6 +62,7 @@ impl Default for ServeConfig {
             max_batch_rows: 256,
             max_wait: Duration::from_micros(2000),
             queue_cap: 128,
+            shards: 1,
             overload: OverloadPolicy::Reject,
             batcher_delay: None,
             quantized: false,
@@ -68,6 +76,7 @@ impl ServeConfig {
     pub fn validate(&self) {
         assert!(self.max_batch_rows > 0, "max_batch_rows must be positive");
         assert!(self.queue_cap > 0, "queue_cap must be positive");
+        assert!(self.shards > 0, "shards must be positive");
         assert!(
             self.stats_window > Duration::ZERO,
             "stats_window must be positive"

@@ -10,25 +10,31 @@
 //! # Architecture
 //!
 //! ```text
-//!  client ──frame──▶ handler thread ──Pending──▶ bounded queue
-//!                        ▲                          │
-//!                        │ scores (mpsc)            ▼ coalesce ≤ max_batch_rows
-//!                        └───────────────── batcher thread ── ServingMoe::predict
+//!  client ══frames══▶ reader thread ──Pending──▶ queue[shard_of(id)] ─┐
+//!     ▲   (pipelined:      │                                          ▼
+//!     ║    many SCOREs     │ admin            batcher shard 0 ── predict
+//!     ║    in flight)      ▼                  batcher shard 1 ── predict
+//!     ╚══════════════ writer thread ◀──ScoreDone (any order)──── ...
 //! ```
 //!
 //! * **Protocol** ([`protocol`]): length-prefixed binary frames over
-//!   TCP; `SCORE`, `RELOAD`, `SHUTDOWN`, `STATS` requests.
-//! * **Micro-batching** ([`batcher`]): concurrently queued requests
-//!   are coalesced into one model call (scores stay bit-identical —
-//!   every model path is row-independent).
+//!   TCP; `SCORE`, `RELOAD`, `SHUTDOWN`, `STATS` requests. v3 adds
+//!   pipelining: requests carry correlation ids, a connection may have
+//!   many scores in flight, and replies arrive in completion order.
+//! * **Batcher shards** ([`batcher`], [`ServeConfig::shards`]): each
+//!   shard owns a bounded queue and flush loop; requests hash to a
+//!   shard by request id ([`shard_of`]). Concurrently queued requests
+//!   coalesce into one model call per shard (scores stay bit-identical
+//!   at any shard count — every model path is row-independent).
 //! * **Backpressure** ([`queue`], [`ServeConfig::overload`]): a full
-//!   admission queue rejects with `OVERLOADED` (or blocks with a
-//!   deadline under [`OverloadPolicy::Block`]).
+//!   shard queue rejects with `OVERLOADED` (v3: a correlated
+//!   `SCORE_ERROR`), or blocks with a deadline under
+//!   [`OverloadPolicy::Block`]. Admission is per shard.
 //! * **Hot-swap** ([`client::Client::reload`]): `RELOAD <path>` builds
 //!   a fresh model from an `AMOE` checkpoint off the serving path and
 //!   swaps it atomically; in-flight batches finish on the old weights.
-//! * **Graceful drain**: `SHUTDOWN` closes the queue, answers every
-//!   admitted request, then exits.
+//! * **Graceful drain**: `SHUTDOWN` closes every shard's queue,
+//!   answers every admitted request on every shard, then exits.
 //!
 //! All stages are instrumented through `amoe-obs` (queue-depth gauge,
 //! batch-size / queue-wait / latency histograms, `serve_request` and
@@ -37,7 +43,8 @@
 //! Independent of `AMOE_OBS`, the server keeps **always-on
 //! sliding-window stage histograms** (queue wait, compute, reply
 //! write, end-to-end latency, queue depth) reported as p50/p95/p99
-//! through the v2 `STATS` reply, and supports **request-scoped
+//! through the v2 `STATS` reply (v3 adds per-shard batch/overload
+//! counters and queue depths), and supports **request-scoped
 //! tracing** (`AMOE_TRACE=path`, sampled via `AMOE_TRACE_SAMPLE=1/N`)
 //! exportable as Chrome trace-event JSON through `TRACE_DUMP` or at
 //! drain. Protocol v1 peers interoperate via hello negotiation.
@@ -49,7 +56,7 @@ pub mod protocol;
 pub mod queue;
 pub mod server;
 
-pub use client::{Client, ServeError};
+pub use client::{Client, Completion, ServeError};
 pub use config::{ModelSpec, OverloadPolicy, ServeConfig};
-pub use protocol::{FeatureRow, QuantileSummary, StatsSnapshot, WindowedStats};
-pub use server::Server;
+pub use protocol::{FeatureRow, QuantileSummary, ShardStats, StatsSnapshot, WindowedStats};
+pub use server::{shard_of, Server};

@@ -18,11 +18,22 @@
 //! `TRACE_DUMP` (v2: fetch the server's trace ring as Chrome trace
 //! JSON). Responses: `SCORES`, `OVERLOADED` (admission control
 //! rejected the request), `ERROR` (with message), `OK`, `STATS` (v2
-//! appends sliding-window stage quantiles), `TRACE_DUMP_REPLY`.
+//! appends sliding-window stage quantiles; v3 appends per-shard
+//! batcher counters after that), `TRACE_DUMP_REPLY`, and
+//! `SCORE_ERROR` (v3: a failed score carrying its request id).
 //!
-//! The protocol is strictly request/response per connection, so the
-//! `request_id` echoed in `SCORES` is a client-side sanity check, not
-//! a multiplexing key.
+//! Through v2 the protocol is strictly request/response per
+//! connection, so the `request_id` echoed in `SCORES` is a
+//! client-side sanity check. From v3 a connection is **pipelined**: a
+//! client may have any number of `SCORE`s in flight at once, the
+//! server completes them in whatever order its batcher shards finish,
+//! and the `request_id` in `SCORES`/`SCORE_ERROR` is the real
+//! multiplexing key. Score failures on a v3 connection use
+//! `SCORE_ERROR` (instead of the uncorrelatable `OVERLOADED`/`ERROR`)
+//! so they can be matched to their request. Admin requests
+//! (`RELOAD`/`STATS`/`SHUTDOWN`/`TRACE_DUMP`) are still answered in
+//! submission order, though score completions may interleave ahead of
+//! their replies.
 
 use std::io::{self, Read, Write};
 
@@ -31,7 +42,7 @@ use amoe_obs::registry::Histogram;
 /// Handshake magic: "AMSV" (AMoe SerVe).
 pub const MAGIC: [u8; 4] = *b"AMSV";
 /// Highest wire protocol version this build speaks.
-pub const VERSION: u32 = 2;
+pub const VERSION: u32 = 3;
 /// Lowest version still accepted (v1 peers predate trace ids and
 /// windowed stats).
 pub const MIN_VERSION: u32 = 1;
@@ -67,6 +78,12 @@ pub const TAG_STATS_REPLY: u8 = 0x85;
 pub const TAG_STATS_REPLY_V2: u8 = 0x86;
 /// v2: Chrome trace JSON body (see [`TAG_SCORES`]).
 pub const TAG_TRACE_DUMP_REPLY: u8 = 0x87;
+/// v3: `STATS_REPLY_V2` plus per-shard batcher counters (see
+/// [`TAG_SCORES`]).
+pub const TAG_STATS_REPLY_V3: u8 = 0x88;
+/// v3: a score request failed; body carries the request id so a
+/// pipelined client can correlate the failure (see [`TAG_SCORES`]).
+pub const TAG_SCORE_ERROR: u8 = 0x89;
 
 /// One example to score: the seven sparse feature ids plus the dense
 /// numeric features, mirroring `amoe_dataset::Example` minus the label.
@@ -138,21 +155,51 @@ pub enum Response {
     },
     /// Acknowledgement for `Reload`/`Shutdown`.
     Ok,
-    /// Counter snapshot for `Stats`. `window` is present on v2
-    /// connections (it encodes as `STATS_REPLY_V2`); `None` keeps the
-    /// bit-exact v1 `STATS_REPLY` wire shape for old clients.
+    /// Counter snapshot for `Stats`. `window` is present on v2+
+    /// connections (it encodes as `STATS_REPLY_V2`), `shards` on v3+
+    /// (`STATS_REPLY_V3`, which always carries the window block too);
+    /// both `None` keeps the bit-exact v1 `STATS_REPLY` wire shape for
+    /// old clients.
     Stats {
         /// Lifetime counters.
         snapshot: StatsSnapshot,
         /// Sliding-window stage quantiles (v2 only). Boxed so the
         /// common small responses don't pay the block's enum size.
         window: Option<Box<WindowedStats>>,
+        /// Per-shard batcher counters (v3 only), indexed by shard id.
+        shards: Option<Vec<ShardStats>>,
     },
     /// v2: the server's trace ring as Chrome trace-event JSON.
     TraceDump {
         /// A complete Chrome trace JSON document.
         json: String,
     },
+    /// v3: a score request failed (validation, overload, or shutdown).
+    /// Carries the request id so a pipelined connection can correlate
+    /// the failure with one of its in-flight submissions.
+    ScoreError {
+        /// Echo of the request's id.
+        request_id: u64,
+        /// True when admission control shed the request (the v3
+        /// equivalent of `OVERLOADED`); the client should back off and
+        /// may retry.
+        overloaded: bool,
+        /// Human-readable reason (empty for pure overload).
+        message: String,
+    },
+}
+
+/// Per-shard batcher counters inside a v3 `STATS` reply.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ShardStats {
+    /// Model calls this shard's batcher has made.
+    pub batches: u64,
+    /// Score requests this shard's admission queue shed.
+    pub overloaded: u64,
+    /// This shard's queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// p99 of this shard's queue depth over the sliding stats window.
+    pub queue_depth_p99: f64,
 }
 
 /// Point-in-time server counters (also the body of the `STATS` reply).
@@ -422,11 +469,18 @@ impl Response {
                 put_str(&mut out, message);
             }
             Response::Ok => out.push(TAG_OK),
-            Response::Stats { snapshot, window } => {
-                // v1 clients reject trailing bytes, so the windowed
-                // block must ride a distinct tag rather than extend
-                // the v1 body.
-                out.push(if window.is_some() {
+            Response::Stats {
+                snapshot,
+                window,
+                shards,
+            } => {
+                // v1 clients reject trailing bytes, so each added
+                // block rides a distinct tag rather than extending
+                // the v1 body. The v3 shard block requires the window
+                // block (a v3 server always has both).
+                out.push(if shards.is_some() {
+                    TAG_STATS_REPLY_V3
+                } else if window.is_some() {
                     TAG_STATS_REPLY_V2
                 } else {
                     TAG_STATS_REPLY
@@ -443,6 +497,16 @@ impl Response {
                 ] {
                     put_u64(&mut out, v);
                 }
+                let defaulted;
+                let window = match (window, shards) {
+                    (Some(w), _) => Some(&**w),
+                    (None, Some(_)) => {
+                        debug_assert!(false, "v3 stats reply built without a window block");
+                        defaulted = WindowedStats::default();
+                        Some(&defaulted)
+                    }
+                    (None, None) => None,
+                };
                 if let Some(w) = window {
                     put_f64(&mut out, w.window_secs);
                     for s in [
@@ -458,10 +522,29 @@ impl Response {
                         put_f64(&mut out, s.p99);
                     }
                 }
+                if let Some(sh) = shards {
+                    put_u32(&mut out, sh.len() as u32);
+                    for s in sh {
+                        put_u64(&mut out, s.batches);
+                        put_u64(&mut out, s.overloaded);
+                        put_u64(&mut out, s.queue_depth);
+                        put_f64(&mut out, s.queue_depth_p99);
+                    }
+                }
             }
             Response::TraceDump { json } => {
                 out.push(TAG_TRACE_DUMP_REPLY);
                 put_str(&mut out, json);
+            }
+            Response::ScoreError {
+                request_id,
+                overloaded,
+                message,
+            } => {
+                out.push(TAG_SCORE_ERROR);
+                put_u64(&mut out, *request_id);
+                out.push(u8::from(*overloaded));
+                put_str(&mut out, message);
             }
         }
         out
@@ -486,7 +569,7 @@ impl Response {
             TAG_OVERLOADED => Response::Overloaded,
             TAG_ERROR => Response::Error { message: c.str()? },
             TAG_OK => Response::Ok,
-            tag @ (TAG_STATS_REPLY | TAG_STATS_REPLY_V2) => {
+            tag @ (TAG_STATS_REPLY | TAG_STATS_REPLY_V2 | TAG_STATS_REPLY_V3) => {
                 let snapshot = StatsSnapshot {
                     requests: c.u64()?,
                     rows: c.u64()?,
@@ -497,7 +580,7 @@ impl Response {
                     reloads: c.u64()?,
                     queue_depth: c.u64()?,
                 };
-                let window = if tag == TAG_STATS_REPLY_V2 {
+                let window = if tag != TAG_STATS_REPLY {
                     let window_secs = c.f64()?;
                     let mut summaries = [QuantileSummary::default(); 5];
                     for s in &mut summaries {
@@ -519,9 +602,46 @@ impl Response {
                 } else {
                     None
                 };
-                Response::Stats { snapshot, window }
+                let shards = if tag == TAG_STATS_REPLY_V3 {
+                    let n = c.u32()? as usize;
+                    // Each entry is 3×u64 + f64; reject count/body
+                    // mismatches before allocating.
+                    if c.remaining() != n * 32 {
+                        return Err(bad_data("shard stats body length mismatch"));
+                    }
+                    let mut sh = Vec::with_capacity(n);
+                    for _ in 0..n {
+                        sh.push(ShardStats {
+                            batches: c.u64()?,
+                            overloaded: c.u64()?,
+                            queue_depth: c.u64()?,
+                            queue_depth_p99: c.f64()?,
+                        });
+                    }
+                    Some(sh)
+                } else {
+                    None
+                };
+                Response::Stats {
+                    snapshot,
+                    window,
+                    shards,
+                }
             }
             TAG_TRACE_DUMP_REPLY => Response::TraceDump { json: c.str()? },
+            TAG_SCORE_ERROR => {
+                let request_id = c.u64()?;
+                let overloaded = match c.u8()? {
+                    0 => false,
+                    1 => true,
+                    b => return Err(bad_data(format!("bad score-error flag {b:#04x}"))),
+                };
+                Response::ScoreError {
+                    request_id,
+                    overloaded,
+                    message: c.str()?,
+                }
+            }
             tag => return Err(bad_data(format!("unknown response tag {tag:#04x}"))),
         };
         c.finish()?;
@@ -728,13 +848,38 @@ mod tests {
             Response::Stats {
                 snapshot: sample_stats(),
                 window: None,
+                shards: None,
             },
             Response::Stats {
                 snapshot: sample_stats(),
                 window: Some(Box::new(sample_window())),
+                shards: None,
+            },
+            Response::Stats {
+                snapshot: sample_stats(),
+                window: Some(Box::new(sample_window())),
+                shards: Some(vec![
+                    ShardStats {
+                        batches: 4,
+                        overloaded: 1,
+                        queue_depth: 2,
+                        queue_depth_p99: 3.5,
+                    },
+                    ShardStats::default(),
+                ]),
             },
             Response::TraceDump {
                 json: "{\"traceEvents\":[]}".into(),
+            },
+            Response::ScoreError {
+                request_id: 42,
+                overloaded: true,
+                message: String::new(),
+            },
+            Response::ScoreError {
+                request_id: 43,
+                overloaded: false,
+                message: "unknown sc id".into(),
             },
         ];
         for resp in cases {
@@ -748,6 +893,7 @@ mod tests {
         let payload = Response::Stats {
             snapshot: sample_stats(),
             window: None,
+            shards: None,
         }
         .encode();
         // v1 layout: tag + 8 × u64, nothing else (v1 clients reject
@@ -757,9 +903,33 @@ mod tests {
         let v2 = Response::Stats {
             snapshot: sample_stats(),
             window: Some(Box::new(sample_window())),
+            shards: None,
         }
         .encode();
         assert_eq!(v2[0], TAG_STATS_REPLY_V2);
+        // The shard block extends the v2 body: v3 = v2 + count + 32
+        // bytes per shard, under yet another tag.
+        let v3 = Response::Stats {
+            snapshot: sample_stats(),
+            window: Some(Box::new(sample_window())),
+            shards: Some(vec![ShardStats::default(); 3]),
+        }
+        .encode();
+        assert_eq!(v3[0], TAG_STATS_REPLY_V3);
+        assert_eq!(v3.len(), v2.len() + 4 + 3 * 32);
+    }
+
+    #[test]
+    fn score_error_flag_must_be_boolean() {
+        let mut payload = Response::ScoreError {
+            request_id: 7,
+            overloaded: true,
+            message: "x".into(),
+        }
+        .encode();
+        assert!(Response::decode(&payload).is_ok());
+        payload[9] = 2; // the flag byte follows tag + u64 request id
+        assert!(Response::decode(&payload).is_err());
     }
 
     #[test]

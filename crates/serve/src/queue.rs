@@ -104,12 +104,14 @@ impl<T> RequestQueue<T> {
                 OverloadPolicy::Block(max_block) => {
                     let deadline = Instant::now() + max_block;
                     while st.items.len() >= self.cap && !st.closed {
-                        let now = Instant::now();
-                        if now >= deadline {
+                        // Saturating: the clock may pass `deadline`
+                        // between iterations, and `deadline - now`
+                        // would panic on the underflow.
+                        let remaining = deadline.saturating_duration_since(Instant::now());
+                        if remaining.is_zero() {
                             return Err(PushError::Full);
                         }
-                        let (next, timeout) =
-                            self.not_full.wait_timeout(st, deadline - now).unwrap();
+                        let (next, timeout) = self.not_full.wait_timeout(st, remaining).unwrap();
                         st = next;
                         if timeout.timed_out() && st.items.len() >= self.cap {
                             return Err(PushError::Full);
@@ -161,11 +163,13 @@ impl<T> RequestQueue<T> {
             if st.closed {
                 return None;
             }
-            let now = Instant::now();
-            if now >= deadline {
+            // Saturating for the same reason as in `push`: an elapsed
+            // deadline must mean "give up now", never a panic.
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
                 return None;
             }
-            let (next, _timeout) = self.not_empty.wait_timeout(st, deadline - now).unwrap();
+            let (next, _timeout) = self.not_empty.wait_timeout(st, remaining).unwrap();
             st = next;
         }
     }
@@ -274,6 +278,36 @@ mod tests {
         // The final published depth matches reality — the property the
         // old read-then-set gauge could violate.
         assert_eq!(last.load(Ordering::SeqCst), q.len());
+    }
+
+    #[test]
+    fn zero_block_deadline_rejects_full_queue_without_panicking() {
+        // Regression: a zero (or already-elapsed) block budget used to
+        // race `Instant::now()` against the deadline subtraction.
+        let q = RequestQueue::new(1);
+        q.push(1, OverloadPolicy::Reject).unwrap();
+        assert_eq!(
+            q.push(2, OverloadPolicy::Block(Duration::ZERO)),
+            Err(PushError::Full)
+        );
+        assert_eq!(
+            q.push(3, OverloadPolicy::Block(Duration::from_nanos(1))),
+            Err(PushError::Full)
+        );
+    }
+
+    #[test]
+    fn elapsed_pop_deadline_returns_none_without_panicking() {
+        let q = RequestQueue::<u32>::new(1);
+        let now = Instant::now();
+        // A deadline in the past and one exactly "now": both must be a
+        // clean empty pop, not an Instant-arithmetic panic.
+        let past = now.checked_sub(Duration::from_millis(50)).unwrap_or(now);
+        assert_eq!(q.pop_until(past), None);
+        assert_eq!(q.pop_until(Instant::now()), None);
+        // Still functional afterwards.
+        q.push(7, OverloadPolicy::Reject).unwrap();
+        assert_eq!(q.pop_until(Instant::now()), Some(7));
     }
 
     #[test]

@@ -1,4 +1,6 @@
-//! The TCP server: accept loop, per-connection handlers, admission
+//! The TCP server: accept loop, per-connection handlers (strict
+//! request/response for v≤2 peers, pipelined with a per-connection
+//! writer thread for v3), N batcher shards with per-shard admission
 //! control, checkpoint hot-swap and graceful drain.
 
 use std::io;
@@ -10,19 +12,50 @@ use std::time::{Duration, Instant};
 
 use amoe_core::ranker::OptimConfig;
 use amoe_core::serving::ServingModel;
-use amoe_core::{GateInput, MoeConfig, MoeModel};
+use amoe_core::{MoeConfig, MoeModel};
 use amoe_dataset::{Batch, DatasetMeta};
 use amoe_nn::ParamSet;
 use amoe_obs::trace;
 use amoe_obs::WindowedHistogram;
 use amoe_tensor::Matrix;
 
-use crate::batcher::{self, Pending};
+use crate::batcher::{self, Pending, ScoreDone, WriterMsg};
 use crate::config::ServeConfig;
 use crate::protocol::{
-    self, FeatureRow, QuantileSummary, Request, Response, StatsSnapshot, WindowedStats,
+    self, FeatureRow, QuantileSummary, Request, Response, ShardStats, StatsSnapshot, WindowedStats,
 };
 use crate::queue::{PushError, RequestQueue};
+
+/// Interns `serve.queue_depth.shard{N}` gauge names: the registry
+/// wants `&'static str` keys, and interning bounds the leak to one
+/// string per distinct shard index ever used (not per server start).
+fn shard_gauge_name(shard: usize) -> &'static str {
+    static NAMES: std::sync::OnceLock<Mutex<Vec<&'static str>>> = std::sync::OnceLock::new();
+    let names = NAMES.get_or_init(|| Mutex::new(Vec::new()));
+    let mut v = names.lock().unwrap();
+    while v.len() <= shard {
+        let s: &'static str =
+            Box::leak(format!("serve.queue_depth.shard{}", v.len()).into_boxed_str());
+        v.push(s);
+    }
+    v[shard]
+}
+
+/// Maps a request id to its batcher shard: a Fibonacci multiplicative
+/// hash of the id, reduced modulo the shard count. Deterministic and
+/// stable across runs, so tests and load generators can precompute a
+/// request's shard from the ids a [`crate::Client`] assigns
+/// (sequential from 1 per connection).
+#[must_use]
+pub fn shard_of(request_id: u64, shards: usize) -> usize {
+    debug_assert!(shards > 0, "shard_of: zero shards");
+    if shards <= 1 {
+        return 0;
+    }
+    // 2^64 / φ; the multiply diffuses sequential ids across the high
+    // bits so consecutive requests spread over the shards.
+    ((request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards as u64) as usize
+}
 
 /// Sliding-window stage histograms behind the v2 `STATS` quantiles.
 /// Always on (a handful of histogram increments per request),
@@ -36,12 +69,15 @@ pub(crate) struct ServeWindows {
     pub compute_us: WindowedHistogram,
     /// Reply serialisation + socket write per request, µs.
     pub reply_write_us: WindowedHistogram,
-    /// Queue depth observed at every push/pop.
+    /// Queue depth observed at every push/pop, across all shards.
     pub queue_depth: WindowedHistogram,
+    /// Per-shard queue depth (index = shard id), behind the v3 `STATS`
+    /// shard block.
+    pub shard_queue_depth: Vec<WindowedHistogram>,
 }
 
 impl ServeWindows {
-    fn new(window: Duration) -> Self {
+    fn new(window: Duration, shards: usize) -> Self {
         let mk = || WindowedHistogram::new(window, amoe_obs::window::DEFAULT_SLOTS);
         ServeWindows {
             request_latency_us: mk(),
@@ -49,12 +85,13 @@ impl ServeWindows {
             compute_us: mk(),
             reply_write_us: mk(),
             queue_depth: mk(),
+            shard_queue_depth: (0..shards).map(|_| mk()).collect(),
         }
     }
 }
 
 /// Monotonic service counters, updated lock-free by handler threads
-/// and the batcher, plus the sliding-window stage histograms.
+/// and the batcher shards, plus the sliding-window stage histograms.
 pub struct ServerStats {
     requests: AtomicU64,
     rows: AtomicU64,
@@ -63,14 +100,18 @@ pub struct ServerStats {
     errors: AtomicU64,
     batches: AtomicU64,
     reloads: AtomicU64,
+    /// Per-shard slices of `batches` / `overloaded` (index = shard id).
+    shard_batches: Vec<AtomicU64>,
+    shard_overloaded: Vec<AtomicU64>,
     /// Allocator for trace batch ids (`fetch_add + 1`, so ids start at
-    /// 1 and 0 stays "no batch").
+    /// 1 and 0 stays "no batch"). Shared across shards, so batch ids
+    /// are unique service-wide.
     batch_seq: AtomicU64,
     pub(crate) windows: Mutex<ServeWindows>,
 }
 
 impl ServerStats {
-    fn new(window: Duration) -> Self {
+    fn new(window: Duration, shards: usize) -> Self {
         ServerStats {
             requests: AtomicU64::new(0),
             rows: AtomicU64::new(0),
@@ -79,13 +120,21 @@ impl ServerStats {
             errors: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             reloads: AtomicU64::new(0),
+            shard_batches: (0..shards).map(|_| AtomicU64::new(0)).collect(),
+            shard_overloaded: (0..shards).map(|_| AtomicU64::new(0)).collect(),
             batch_seq: AtomicU64::new(0),
-            windows: Mutex::new(ServeWindows::new(window)),
+            windows: Mutex::new(ServeWindows::new(window, shards)),
         }
     }
 
-    pub(crate) fn note_batch(&self) {
+    pub(crate) fn note_batch(&self, shard: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
+        self.shard_batches[shard].fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn note_overloaded(&self, shard: usize) {
+        self.overloaded.fetch_add(1, Ordering::Relaxed);
+        self.shard_overloaded[shard].fetch_add(1, Ordering::Relaxed);
     }
 
     /// Allocates the next trace batch id (≥ 1).
@@ -119,9 +168,27 @@ impl ServerStats {
             queue_depth: QuantileSummary::from_histogram(&w.queue_depth.merged()),
         }
     }
+
+    /// Per-shard counters for the v3 `STATS` shard block.
+    fn shard_stats(&self, queues: &[RequestQueue<Pending>]) -> Vec<ShardStats> {
+        // Depths first: each queue's depth observer takes the windows
+        // lock while holding the queue lock, so reading queue lengths
+        // under the windows lock would invert that order.
+        let depths: Vec<u64> = queues.iter().map(|q| q.len() as u64).collect();
+        let mut w = self.windows.lock().unwrap();
+        (0..queues.len())
+            .map(|i| ShardStats {
+                batches: self.shard_batches[i].load(Ordering::Relaxed),
+                overloaded: self.shard_overloaded[i].load(Ordering::Relaxed),
+                queue_depth: depths[i],
+                queue_depth_p99: w.shard_queue_depth[i].merged().quantile(0.99),
+            })
+            .collect()
+    }
 }
 
-/// State shared by the accept loop, handler threads and the batcher.
+/// State shared by the accept loop, handler threads and the batcher
+/// shards.
 pub(crate) struct Shared {
     /// The serving bundle (model + optional int8 expert snapshot,
     /// quantized once at load). Handlers swap the `Arc` on RELOAD; the
@@ -132,13 +199,14 @@ pub(crate) struct Shared {
     pub meta: DatasetMeta,
     /// Architecture used to rebuild models on RELOAD.
     pub model_config: MoeConfig,
-    /// Admission queue feeding the batcher.
-    pub queue: RequestQueue<Pending>,
+    /// One bounded admission queue per batcher shard (index = shard
+    /// id; requests hash to a shard via [`shard_of`]).
+    pub queues: Vec<RequestQueue<Pending>>,
     /// Tuning knobs.
     pub config: ServeConfig,
     /// Set once SHUTDOWN is received.
     pub shutdown: AtomicBool,
-    /// Service counters (`Arc` so the queue's depth observer can hold
+    /// Service counters (`Arc` so each queue's depth observer can hold
     /// a reference without a cycle through `Shared`).
     pub stats: Arc<ServerStats>,
     /// Read-half handles of every accepted connection, so shutdown can
@@ -146,6 +214,13 @@ pub(crate) struct Shared {
     /// connections (their write halves stay open for in-flight
     /// replies).
     pub conns: Mutex<Vec<TcpStream>>,
+}
+
+impl Shared {
+    /// Total queued requests across every shard.
+    pub(crate) fn queue_depth_total(&self) -> usize {
+        self.queues.iter().map(RequestQueue::len).sum()
+    }
 }
 
 /// A running inference service.
@@ -157,17 +232,17 @@ pub struct Server {
     addr: SocketAddr,
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
-    batcher_thread: Option<JoinHandle<()>>,
+    batcher_threads: Vec<JoinHandle<()>>,
 }
 
 impl Server {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts the
-    /// accept loop and batcher thread.
+    /// accept loop and one batcher thread per configured shard. Every
+    /// gate-input configuration is servable (the tape-free path
+    /// mirrors the training encoder for each variant).
     ///
     /// # Errors
-    /// Fails on bind errors or when the model's gate input is not
-    /// `GateInput::Sc` (the only configuration the sparse serving
-    /// path supports).
+    /// Fails on bind or thread-spawn errors.
     pub fn start(
         addr: impl ToSocketAddrs,
         model: MoeModel,
@@ -175,50 +250,56 @@ impl Server {
         config: ServeConfig,
     ) -> io::Result<Server> {
         config.validate();
-        if model.config().gate_input != GateInput::Sc {
-            return Err(io::Error::new(
-                io::ErrorKind::InvalidInput,
-                "serving supports GateInput::Sc only",
-            ));
-        }
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
-        let stats = Arc::new(ServerStats::new(config.stats_window));
-        let mut queue = RequestQueue::new(config.queue_cap);
-        {
+        let shards = config.shards;
+        let stats = Arc::new(ServerStats::new(config.stats_window, shards));
+        let mut queues = Vec::with_capacity(shards);
+        for shard in 0..shards {
+            let mut queue = RequestQueue::new(config.queue_cap);
             // Depth accounting runs inside the queue lock, so the
             // published depth is exact even under concurrent pops
             // (a read-then-set from outside the lock can go stale).
             let stats = Arc::clone(&stats);
+            let gauge_name = shard_gauge_name(shard);
+            let single = shards == 1;
             queue.set_depth_observer(move |depth| {
-                stats
-                    .windows
-                    .lock()
-                    .unwrap()
-                    .queue_depth
-                    .record(depth as f64);
+                {
+                    let mut w = stats.windows.lock().unwrap();
+                    w.queue_depth.record(depth as f64);
+                    w.shard_queue_depth[shard].record(depth as f64);
+                }
                 if amoe_obs::enabled() {
-                    amoe_obs::gauge_set("serve.queue_depth", depth as f64);
+                    amoe_obs::gauge_set(gauge_name, depth as f64);
+                    if single {
+                        // Single-shard servers keep publishing the
+                        // pre-sharding aggregate gauge name.
+                        amoe_obs::gauge_set("serve.queue_depth", depth as f64);
+                    }
                 }
             });
+            queues.push(queue);
         }
         let shared = Arc::new(Shared {
             model_config: model.config().clone(),
             model: Mutex::new(Arc::new(ServingModel::new(model, config.quantized))),
             meta,
-            queue,
+            queues,
             config,
             shutdown: AtomicBool::new(false),
             stats,
             conns: Mutex::new(Vec::new()),
         });
 
-        let batcher_thread = {
+        let mut batcher_threads = Vec::with_capacity(shards);
+        for shard in 0..shards {
             let shared = Arc::clone(&shared);
-            thread::Builder::new()
-                .name("amoe-serve-batcher".into())
-                .spawn(move || batcher::run(&shared))?
-        };
+            batcher_threads.push(
+                thread::Builder::new()
+                    .name(format!("amoe-serve-batcher-{shard}"))
+                    .spawn(move || batcher::run(&shared, shard))?,
+            );
+        }
         let accept_thread = {
             let shared = Arc::clone(&shared);
             thread::Builder::new()
@@ -229,7 +310,7 @@ impl Server {
             addr: local,
             shared,
             accept_thread: Some(accept_thread),
-            batcher_thread: Some(batcher_thread),
+            batcher_threads,
         })
     }
 
@@ -242,7 +323,7 @@ impl Server {
     /// Current service counters.
     #[must_use]
     pub fn stats(&self) -> StatsSnapshot {
-        self.shared.stats.snapshot(self.shared.queue.len())
+        self.shared.stats.snapshot(self.shared.queue_depth_total())
     }
 
     /// Sliding-window stage quantiles (the v2 `STATS` block).
@@ -251,14 +332,20 @@ impl Server {
         self.shared.stats.window_stats()
     }
 
+    /// Per-shard batcher counters (the v3 `STATS` shard block).
+    #[must_use]
+    pub fn shard_stats(&self) -> Vec<ShardStats> {
+        self.shared.stats.shard_stats(&self.shared.queues)
+    }
+
     /// Blocks until the server has shut down (all connections
-    /// answered, queue drained, threads exited). Only returns after a
-    /// `SHUTDOWN` request.
+    /// answered, every shard's queue drained, threads exited). Only
+    /// returns after a `SHUTDOWN` request.
     pub fn join(mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
-        if let Some(t) = self.batcher_thread.take() {
+        for t in self.batcher_threads.drain(..) {
             let _ = t.join();
         }
     }
@@ -308,7 +395,8 @@ fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
         }
     }
     // Every admitted request must be answered before join() returns,
-    // so wait for all connection threads.
+    // so wait for all connection threads (a pipelined handler in turn
+    // joins its writer, which drains every in-flight completion).
     for h in handlers {
         let _ = h.join();
     }
@@ -324,10 +412,15 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<
     let _ = stream.set_nodelay(true);
     // Version negotiation: the client offers, we answer with
     // min(client, ours) and speak that for the connection — v1 peers
-    // keep working against a v2 server.
+    // keep working against a v3 server.
     let offered = protocol::read_hello(&mut stream)?;
     let version = protocol::negotiate(offered)?;
     protocol::write_hello(&mut stream, version)?;
+    if version >= 3 {
+        return handle_connection_pipelined(stream, shared);
+    }
+    // v1/v2: strict request/response, kept wire-exact for old peers
+    // (one in-flight score, replies written by this thread).
     loop {
         let payload = match protocol::read_frame(&mut stream) {
             Ok(p) => p,
@@ -356,13 +449,13 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<
             } => {
                 handle_score(&mut stream, shared, request_id, trace_id, rows)?;
             }
-            Request::Reload { path } => handle_reload(&mut stream, shared, &path)?,
+            Request::Reload { path } => {
+                let resp = reload_response(shared, &path);
+                reply(&mut stream, &resp)?;
+            }
             Request::Stats => {
-                let snapshot = shared.stats.snapshot(shared.queue.len());
-                // The windowed block rides a v2-only tag; v1 clients
-                // get the bit-exact v1 reply.
-                let window = (version >= 2).then(|| Box::new(shared.stats.window_stats()));
-                reply(&mut stream, &Response::Stats { snapshot, window })?;
+                let resp = stats_response(shared, version);
+                reply(&mut stream, &resp)?;
             }
             Request::TraceDump => {
                 // An empty document (tracing off) is still valid
@@ -371,41 +464,156 @@ fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<
                 reply(&mut stream, &Response::TraceDump { json })?;
             }
             Request::Shutdown => {
-                handle_shutdown(&mut stream, shared)?;
+                initiate_shutdown(&stream, shared)?;
+                reply(&mut stream, &Response::Ok)?;
                 return Ok(());
             }
         }
     }
 }
 
-fn handle_score(
+/// v3 connections: the reader (this thread) decodes requests and
+/// admits scores without waiting for their completions; a dedicated
+/// writer thread owns the write half and sends replies in whatever
+/// order the batcher shards finish.
+fn handle_connection_pipelined(mut stream: TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+    let write_half = stream.try_clone()?;
+    let (tx, rx) = mpsc::channel::<WriterMsg>();
+    let writer = {
+        let shared = Arc::clone(shared);
+        thread::Builder::new()
+            .name("amoe-serve-writer".into())
+            .spawn(move || writer_loop(write_half, &rx, &shared))?
+    };
+    let result = pipelined_read_loop(&mut stream, shared, &tx);
+    // Dropping the reader's sender lets the writer drain and exit:
+    // every in-flight Pending holds its own sender clone, so the
+    // channel only closes once each admitted request has been
+    // answered (or its batch dropped the reply). That join IS the
+    // per-connection drain guarantee.
+    drop(tx);
+    let _ = writer.join();
+    result
+}
+
+fn pipelined_read_loop(
     stream: &mut TcpStream,
     shared: &Arc<Shared>,
-    request_id: u64,
-    trace_id: u64,
-    rows: Vec<FeatureRow>,
+    tx: &mpsc::Sender<WriterMsg>,
 ) -> io::Result<()> {
+    loop {
+        let payload = match protocol::read_frame(stream) {
+            Ok(p) => p,
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => return Ok(()),
+            Err(e) => return Err(e),
+        };
+        let request = match Request::decode(&payload) {
+            Ok(r) => r,
+            Err(e) => {
+                shared.stats.errors.fetch_add(1, Ordering::Relaxed);
+                // No request id survived decoding, so this cannot ride
+                // SCORE_ERROR; it is answered in admin order.
+                let _ = tx.send(WriterMsg::Admin(Response::Error {
+                    message: format!("malformed request: {e}"),
+                }));
+                continue;
+            }
+        };
+        match request {
+            Request::Score {
+                request_id,
+                trace_id,
+                rows,
+            } => {
+                let t0 = Instant::now();
+                if let Err(r) = admit_score(shared, request_id, trace_id, &rows, t0, tx.clone()) {
+                    let _ = tx.send(WriterMsg::Admin(Response::ScoreError {
+                        request_id,
+                        overloaded: r.overloaded,
+                        message: r.message,
+                    }));
+                }
+            }
+            Request::Reload { path } => {
+                let _ = tx.send(WriterMsg::Admin(reload_response(shared, &path)));
+            }
+            Request::Stats => {
+                let _ = tx.send(WriterMsg::Admin(stats_response(shared, 3)));
+            }
+            Request::TraceDump => {
+                let _ = tx.send(WriterMsg::Admin(Response::TraceDump {
+                    json: trace::chrome_json(),
+                }));
+            }
+            Request::Shutdown => {
+                initiate_shutdown(stream, shared)?;
+                let _ = tx.send(WriterMsg::Admin(Response::Ok));
+                return Ok(());
+            }
+        }
+    }
+}
+
+/// The per-connection reply writer (v3): single owner of the
+/// connection's write half. Completions arrive from whichever batcher
+/// shard finishes first; admin responses arrive from the reader in
+/// request order. Runs until every sender (the reader plus one clone
+/// per in-flight request) is gone. Write errors don't stop the drain:
+/// remaining completions still need their accounting, and their
+/// writes fail fast on the dead socket.
+fn writer_loop(mut stream: TcpStream, rx: &mpsc::Receiver<WriterMsg>, shared: &Arc<Shared>) {
+    for msg in rx.iter() {
+        let _ = match msg {
+            WriterMsg::Done(done) => write_score_reply(&mut stream, shared, done),
+            WriterMsg::Admin(resp) => reply(&mut stream, &resp),
+        };
+    }
+}
+
+/// Why a score request was not admitted to a shard queue.
+struct ScoreReject {
+    /// True when admission control shed it (reply `OVERLOADED` /
+    /// `SCORE_ERROR{overloaded}`), false for validation/shutdown
+    /// errors.
+    overloaded: bool,
+    message: String,
+}
+
+/// Validates a score request and enqueues it onto its shard (shared by
+/// the sync and pipelined paths). On success the request's reply lane
+/// is registered with the shard's batcher; the caller gets the shard
+/// index for telemetry.
+fn admit_score(
+    shared: &Arc<Shared>,
+    request_id: u64,
+    client_trace_id: u64,
+    rows: &[FeatureRow],
+    t0: Instant,
+    reply: mpsc::Sender<WriterMsg>,
+) -> Result<usize, ScoreReject> {
     shared.stats.requests.fetch_add(1, Ordering::Relaxed);
     shared
         .stats
         .rows
         .fetch_add(rows.len() as u64, Ordering::Relaxed);
-    let t0 = Instant::now();
     // A client-supplied id is an explicit ask to trace this request, so
     // it bypasses sampling; server-assigned ids keep 1-in-N. 0 means
     // untraced (including whenever tracing is off).
-    let trace_id = if trace_id != 0 && trace::enabled() {
-        trace_id
+    let trace_id = if client_trace_id != 0 && trace::enabled() {
+        client_trace_id
     } else {
         trace::next_trace_id().unwrap_or(0)
     };
     let n_rows_in = rows.len() as u64;
 
-    let batch = match rows_to_batch(&rows, &shared.meta) {
+    let batch = match rows_to_batch(rows, &shared.meta) {
         Ok(b) => b,
         Err(message) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            return reply(stream, &Response::Error { message });
+            return Err(ScoreReject {
+                overloaded: false,
+                message,
+            });
         }
     };
     if trace_id != 0 {
@@ -419,42 +627,65 @@ fn handle_score(
         );
     }
 
-    let (tx, rx) = mpsc::channel();
+    let shard = shard_of(request_id, shared.queues.len());
     let pending = Pending {
         batch,
+        request_id,
         trace_id,
-        reply: tx,
+        reply,
         enqueued: t0,
     };
-    match shared.queue.push(pending, shared.config.overload) {
+    match shared.queues[shard].push(pending, shared.config.overload) {
         Ok(()) => {}
         Err(PushError::Full) => {
-            shared.stats.overloaded.fetch_add(1, Ordering::Relaxed);
+            shared.stats.note_overloaded(shard);
             if amoe_obs::enabled() {
                 amoe_obs::counter_add("serve.overloaded", 1);
             }
-            return reply(stream, &Response::Overloaded);
+            return Err(ScoreReject {
+                overloaded: true,
+                message: "admission queue full".into(),
+            });
         }
         Err(PushError::Closed) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
-            return reply(
-                stream,
-                &Response::Error {
-                    message: "server is shutting down".into(),
-                },
-            );
+            return Err(ScoreReject {
+                overloaded: false,
+                message: "server is shutting down".into(),
+            });
         }
     }
-    // The `serve.queue_depth` gauge is published by the queue's depth
+    // Per-shard queue-depth gauges are published by each queue's depth
     // observer, under the queue lock — not here, where a concurrent pop
-    // could already have made `queue.len()` stale.
+    // could already have made the depth stale.
     if trace_id != 0 {
         trace::record_instant(trace_id, 0, "enqueued", n_rows_in);
     }
+    Ok(shard)
+}
 
+/// v≤2 score handling: admit, then block this connection thread until
+/// the shard's batcher answers (strict request/response).
+fn handle_score(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    request_id: u64,
+    trace_id: u64,
+    rows: Vec<FeatureRow>,
+) -> io::Result<()> {
+    let t0 = Instant::now();
+    let (tx, rx) = mpsc::channel();
+    if let Err(r) = admit_score(shared, request_id, trace_id, &rows, t0, tx) {
+        // Old peers get the uncorrelated v1 rejection frames.
+        return if r.overloaded {
+            reply(stream, &Response::Overloaded)
+        } else {
+            reply(stream, &Response::Error { message: r.message })
+        };
+    }
     // The batcher always answers admitted requests (drain included);
     // a recv error means it panicked.
-    let Ok((scores, batch_id)) = rx.recv() else {
+    let Ok(WriterMsg::Done(done)) = rx.recv() else {
         shared.stats.errors.fetch_add(1, Ordering::Relaxed);
         return reply(
             stream,
@@ -463,12 +694,29 @@ fn handle_score(
             },
         );
     };
+    write_score_reply(stream, shared, done)
+}
+
+/// Writes one completed score and records the per-request completion
+/// telemetry — shared by the sync path and the pipelined writer, so
+/// windowed accounting stays exactly once per request on both.
+fn write_score_reply(
+    stream: &mut TcpStream,
+    shared: &Arc<Shared>,
+    done: ScoreDone,
+) -> io::Result<()> {
     shared.stats.ok.fetch_add(1, Ordering::Relaxed);
-    let n_rows = scores.len();
+    let n_rows = done.scores.len();
     let write_t0 = Instant::now();
-    let result = reply(stream, &Response::Scores { request_id, scores });
+    let result = reply(
+        stream,
+        &Response::Scores {
+            request_id: done.request_id,
+            scores: done.scores,
+        },
+    );
     let reply_us = write_t0.elapsed().as_micros() as f64;
-    let latency_us = t0.elapsed().as_micros() as u64;
+    let latency_us = done.enqueued.elapsed().as_micros() as u64;
     {
         // Always-on windowed stage accounting behind the v2 STATS
         // quantiles: a couple of histogram increments per request.
@@ -476,10 +724,10 @@ fn handle_score(
         w.reply_write_us.record(reply_us);
         w.request_latency_us.record(latency_us as f64);
     }
-    if trace_id != 0 {
+    if done.trace_id != 0 {
         trace::record(
-            trace_id,
-            batch_id,
+            done.trace_id,
+            done.batch_id,
             "reply_written",
             trace::instant_ns(write_t0),
             trace::now_ns(),
@@ -491,16 +739,17 @@ fn handle_score(
         amoe_obs::histogram_record("serve.request_latency_us", latency_us as f64);
         amoe_obs::emit(
             &amoe_obs::Event::new("serve_request")
-                .u64("request_id", request_id)
+                .u64("request_id", done.request_id)
                 .u64("rows", n_rows as u64)
+                .u64("shard", done.shard as u64)
                 .u64("latency_us", latency_us)
-                .u64("queue_depth", shared.queue.len() as u64),
+                .u64("queue_depth", shared.queue_depth_total() as u64),
         );
     }
     result
 }
 
-fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, path: &str) -> io::Result<()> {
+fn reload_response(shared: &Arc<Shared>, path: &str) -> Response {
     let swapped = ParamSet::load(path)
         .map_err(|e| format!("checkpoint load failed: {e}"))
         .and_then(|params| {
@@ -527,7 +776,7 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, path: &str) -> io
                         .u64("ok", 1),
                 );
             }
-            reply(stream, &Response::Ok)
+            Response::Ok
         }
         Err(message) => {
             shared.stats.errors.fetch_add(1, Ordering::Relaxed);
@@ -538,22 +787,41 @@ fn handle_reload(stream: &mut TcpStream, shared: &Arc<Shared>, path: &str) -> io
                         .u64("ok", 0),
                 );
             }
-            reply(stream, &Response::Error { message })
+            Response::Error { message }
         }
     }
 }
 
-fn handle_shutdown(stream: &mut TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
+/// Builds the version-appropriate `STATS` reply: v1 counters only, v2
+/// adds the window block, v3 adds per-shard counters on top.
+fn stats_response(shared: &Arc<Shared>, version: u32) -> Response {
+    let snapshot = shared.stats.snapshot(shared.queue_depth_total());
+    let window = (version >= 2).then(|| Box::new(shared.stats.window_stats()));
+    let shards = (version >= 3).then(|| shared.stats.shard_stats(&shared.queues));
+    Response::Stats {
+        snapshot,
+        window,
+        shards,
+    }
+}
+
+/// Flips the shutdown flag, closes every shard queue (admitted
+/// requests drain, new ones are refused) and wakes the accept loop.
+/// The caller still owes the client its `OK` reply.
+fn initiate_shutdown(stream: &TcpStream, shared: &Arc<Shared>) -> io::Result<()> {
     shared.shutdown.store(true, Ordering::SeqCst);
-    // Close the queue first: admitted requests drain, new ones are
-    // refused. The batcher exits once the queue is empty.
-    shared.queue.close();
+    // Close the queues first: each shard's batcher exits once its
+    // queue is empty, so every admitted request on every shard is
+    // still answered.
+    for q in &shared.queues {
+        q.close();
+    }
     // Wake the accept loop (it blocks in accept()) with a throwaway
     // connection to our own listening address; the shutdown flag makes
     // it break out instead of serving it. The accept loop then
     // half-closes idle connections and drains the backlog.
     let _ = TcpStream::connect(stream.local_addr()?);
-    reply(stream, &Response::Ok)
+    Ok(())
 }
 
 fn reply(stream: &mut TcpStream, response: &Response) -> io::Result<()> {
@@ -682,5 +950,24 @@ mod tests {
         row.numeric[0] = f32::NAN;
         let err = rows_to_batch(&[row], &meta()).unwrap_err();
         assert!(err.contains("non-finite"), "unexpected message: {err}");
+    }
+
+    #[test]
+    fn shard_of_is_stable_in_range_and_non_degenerate() {
+        for shards in [1usize, 2, 3, 4, 8] {
+            let mut hit = vec![0usize; shards];
+            for id in 1..=1000u64 {
+                let s = shard_of(id, shards);
+                assert!(s < shards, "shard {s} out of range for {shards}");
+                assert_eq!(s, shard_of(id, shards), "must be deterministic");
+                hit[s] += 1;
+            }
+            // Sequential ids (what Client assigns) must spread over
+            // every shard, not pile onto one.
+            for (s, &n) in hit.iter().enumerate() {
+                assert!(n > 0, "shard {s}/{shards} never hit by ids 1..=1000");
+            }
+        }
+        assert_eq!(shard_of(7, 1), 0);
     }
 }

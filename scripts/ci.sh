@@ -52,6 +52,36 @@ rm -f target/ci_serve_smoke.jsonl
 AMOE_OBS=target/ci_serve_smoke.jsonl \
   cargo run --release --offline -p amoe-bench --bin load_sweep -- --smoke
 
+step "multi-shard smoke: amoe-serve --shards 2 driven over real TCP"
+# Exercises the standalone binary end to end: demo-export a
+# checkpoint, serve it with two batcher shards, drive it with
+# load_sweep's external (closed+open loop) stages over a pipelined v3
+# connection, read the per-shard STATS block, then drain gracefully.
+cargo build --release --offline -p amoe-serve --bin amoe-serve
+rm -rf target/ci_shard_demo && mkdir -p target/ci_shard_demo
+./target/release/amoe-serve demo-export --out target/ci_shard_demo >/dev/null
+./target/release/amoe-serve serve \
+  --ckpt target/ci_shard_demo/model.amoe --spec target/ci_shard_demo/model.spec \
+  --addr 127.0.0.1:0 --shards 2 > target/ci_shard_demo/addr.txt &
+SERVE_PID=$!
+ADDR=""
+for _ in $(seq 100); do
+  ADDR="$(head -n1 target/ci_shard_demo/addr.txt 2>/dev/null || true)"
+  [[ -n "$ADDR" ]] && break
+  sleep 0.1
+done
+if [[ -z "$ADDR" ]]; then
+  echo "FAIL: amoe-serve did not print its bound address" >&2
+  kill "$SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+AMOE_BENCH_SMOKE=1 \
+  cargo run --release --offline -p amoe-bench --bin load_sweep -- --smoke --addr "$ADDR"
+./target/release/amoe-serve stats --addr "$ADDR" | grep -q "shard0" || {
+  echo "FAIL: stats reply carries no per-shard block" >&2; exit 1; }
+./target/release/amoe-serve shutdown --addr "$ADDR"
+wait "$SERVE_PID"
+
 step "trace smoke: end-to-end request tracing emits valid Chrome JSON"
 # trace_smoke starts a live server with AMOE_TRACE set, drives traced
 # traffic, and validates both export paths (the TRACE_DUMP frame and
