@@ -16,10 +16,17 @@
 //!    shard count (1/2/4 batcher shards), reporting throughput and
 //!    p99 vs shard count and cross-checking the v3 per-shard batcher
 //!    counters against the aggregate snapshot;
-//! 5. **overload burst** — a second server with a tiny queue and a
+//! 5. **scrape-under-load** — a server with the HTTP observability
+//!    listener enabled takes identical open-loop passes with and
+//!    without a concurrent 20 Hz `/metrics` scraper; every scrape must
+//!    return 200 and pass the Prometheus exposition linter, scrape
+//!    latency is bounded, and the best-of-N throughput delta between
+//!    the two configurations must stay under 1 % (the scrape overhead
+//!    contract);
+//! 6. **overload burst** — a second server with a tiny queue and a
 //!    throttled batcher takes a burst that must shed load with
 //!    `OVERLOADED` replies;
-//! 6. **quantized serving** — a server with `quantized: true` scores
+//! 7. **quantized serving** — a server with `quantized: true` scores
 //!    the probe rows; TCP-returned scores must stay within the
 //!    documented tolerance of a local f32 oracle on identical weights
 //!    (emitted as a `quant_parity` record), and a closed-loop pass
@@ -29,14 +36,14 @@
 //! event. When `AMOE_OBS` is set the run ends by flushing the sink and
 //! validating the emitted `serve_request` records with the same
 //! schema checks as `obs_smoke` (exit 1 on violation). Pass
-//! `--addr HOST:PORT` to drive an external server instead (stages 3-6
+//! `--addr HOST:PORT` to drive an external server instead (stages 3-7
 //! and the JSONL validation are skipped: they need server-side
 //! control). `--smoke` / `AMOE_BENCH_SMOKE=1` shrinks the workload for
 //! CI.
 
 use std::path::Path;
 use std::process::exit;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -423,6 +430,145 @@ fn main() {
         shard_server.join();
     }
 
+    // Scrape-under-load: the observability listener must not cost
+    // serving throughput. Identical open-loop schedules run with and
+    // without a concurrent ~20 Hz /metrics scraper; open-loop arrivals
+    // are schedule-determined, so comparing the best-of-N throughput
+    // of each configuration isolates the listener's cost from
+    // scheduler noise. Every scraped page must be a 200 that passes
+    // the Prometheus exposition linter.
+    {
+        let (model, _) = build_model(&dataset, if smoke { 6 } else { 20 });
+        let obs_server = Server::start(
+            "127.0.0.1:0",
+            model,
+            dataset.meta.clone(),
+            ServeConfig {
+                obs_addr: Some("127.0.0.1:0".into()),
+                ..ServeConfig::default()
+            },
+        )
+        .unwrap_or_else(|e| fail(&format!("scrape server start: {e}")));
+        let s_addr = obs_server.local_addr();
+        let obs_addr = obs_server
+            .obs_addr()
+            .unwrap_or_else(|| fail("scrape server did not start an obs listener"));
+
+        for path in ["/healthz", "/readyz"] {
+            let (status, _) = amoe_serve::http_get(obs_addr, path, Duration::from_secs(5))
+                .unwrap_or_else(|e| fail(&format!("GET {path}: {e}")));
+            if status != 200 {
+                fail(&format!("GET {path}: HTTP {status}, expected 200"));
+            }
+        }
+        // One warm-up scrape with family spot-checks before the timed
+        // passes: the page must carry the build-info gauge and the
+        // per-shard windowed latency family the dashboards key on.
+        let (status, page) = amoe_serve::http_get(obs_addr, "/metrics", Duration::from_secs(5))
+            .unwrap_or_else(|e| fail(&format!("GET /metrics: {e}")));
+        if status != 200 {
+            fail(&format!("GET /metrics: HTTP {status}"));
+        }
+        obs_check::validate_exposition(&page)
+            .unwrap_or_else(|e| fail(&format!("/metrics fails exposition lint: {e}")));
+        for family in [
+            "amoe_build_info{",
+            "amoe_uptime_seconds",
+            "amoe_serve_window_request_latency_seconds_bucket",
+        ] {
+            if !page.contains(family) {
+                fail(&format!("/metrics page is missing {family}"));
+            }
+        }
+
+        let rate = if smoke { 100.0 } else { 200.0 };
+        let trials = if smoke { 2 } else { 3 };
+        let mut best_base = 0.0f64;
+        let mut best_scraped = 0.0f64;
+        let mut scrape_lat_us: Vec<u64> = Vec::new();
+        for _ in 0..trials {
+            let base = open_loop(s_addr, &pool, 2, requests, rows_per_req, rate);
+            best_base = best_base.max(base.latencies_us.len() as f64 / base.wall.as_secs_f64());
+
+            let stop = Arc::new(AtomicBool::new(false));
+            let scraper = {
+                let stop = Arc::clone(&stop);
+                std::thread::spawn(move || {
+                    let mut lat = Vec::new();
+                    while !stop.load(Ordering::Relaxed) {
+                        let t = Instant::now();
+                        let (status, body) =
+                            amoe_serve::http_get(obs_addr, "/metrics", Duration::from_secs(5))
+                                .unwrap_or_else(|e| fail(&format!("scrape /metrics: {e}")));
+                        lat.push(t.elapsed().as_micros() as u64);
+                        if status != 200 {
+                            fail(&format!("scrape /metrics under load: HTTP {status}"));
+                        }
+                        obs_check::validate_exposition(&body).unwrap_or_else(|e| {
+                            fail(&format!("scraped page fails exposition lint: {e}"))
+                        });
+                        std::thread::sleep(Duration::from_millis(50));
+                    }
+                    lat
+                })
+            };
+            let scraped = open_loop(s_addr, &pool, 2, requests, rows_per_req, rate);
+            stop.store(true, Ordering::Relaxed);
+            scrape_lat_us.extend(
+                scraper
+                    .join()
+                    .unwrap_or_else(|_| fail("scraper thread panicked")),
+            );
+            best_scraped =
+                best_scraped.max(scraped.latencies_us.len() as f64 / scraped.wall.as_secs_f64());
+        }
+        if scrape_lat_us.is_empty() {
+            fail("scrape stage performed no scrapes under load");
+        }
+        scrape_lat_us.sort_unstable();
+        let scrape_p99_us = percentile_us(&scrape_lat_us, 0.99);
+        // Rendering is a lock-snapshot plus string formatting; half a
+        // second of p99 headroom on loopback only trips on pathological
+        // lock contention or O(page) blow-ups.
+        if scrape_p99_us > 500_000.0 {
+            fail(&format!("scrape p99 {scrape_p99_us:.0}us exceeds 500ms"));
+        }
+        let overhead = (best_base - best_scraped) / best_base;
+        if overhead >= 0.01 {
+            fail(&format!(
+                "scraping costs {:.2}% throughput (contract: <1%): \
+                 baseline {best_base:.1} rps vs scraped {best_scraped:.1} rps",
+                overhead * 100.0
+            ));
+        }
+        println!(
+            "load_sweep[scrape] {} scrapes p99={scrape_p99_us:.0}us \
+             baseline={best_base:.0} rps scraped={best_scraped:.0} rps delta={:+.2}%",
+            scrape_lat_us.len(),
+            overhead * 100.0,
+        );
+        amoe_obs::emit(
+            &amoe_obs::Event::new("scrape_row")
+                .u64("scrapes", scrape_lat_us.len() as u64)
+                .f64("scrape_p99_us", scrape_p99_us)
+                .f64("baseline_rps", best_base)
+                .f64("scraped_rps", best_scraped)
+                .f64("overhead_frac", overhead),
+        );
+
+        let mut admin =
+            Client::connect(s_addr).unwrap_or_else(|e| fail(&format!("scrape admin connect: {e}")));
+        admin
+            .shutdown()
+            .unwrap_or_else(|e| fail(&format!("scrape shutdown: {e}")));
+        obs_server.join();
+        // join() stops the listener last; afterwards the obs port must
+        // actually be closed, not leaked.
+        if amoe_serve::http_get(obs_addr, "/healthz", Duration::from_millis(500)).is_ok() {
+            fail("obs listener still answering after Server::join()");
+        }
+    }
+
     // Overload burst: tiny queue + throttled batcher guarantees the
     // queue fills; the burst must see OVERLOADED, not errors or hangs.
     {
@@ -535,6 +681,7 @@ fn main() {
         let mut serve_requests = 0usize;
         let mut quant_parity = 0usize;
         let mut sharded_rows = 0usize;
+        let mut scrape_rows = 0usize;
         for r in &records {
             let checked = match r.kind.as_str() {
                 "serve_request" => {
@@ -582,6 +729,20 @@ fn main() {
                         &["rows", "max_abs_err", "tolerance"],
                     )
                 }
+                "scrape_row" => {
+                    scrape_rows += 1;
+                    obs_check::require_fields(
+                        &r.value,
+                        "scrape_row",
+                        &[
+                            "scrapes",
+                            "scrape_p99_us",
+                            "baseline_rps",
+                            "scraped_rps",
+                            "overhead_frac",
+                        ],
+                    )
+                }
                 _ => Ok(()),
             };
             checked.unwrap_or_else(|e| fail(&e));
@@ -596,6 +757,9 @@ fn main() {
             fail(&format!(
                 "expected a load_sweep_row per shard count (1/2/4), found {sharded_rows} in {path}"
             ));
+        }
+        if scrape_rows == 0 {
+            fail(&format!("no scrape_row record in {path}"));
         }
         println!(
             "load_sweep: OK — {} JSONL records ({} serve_request, {} sharded rows) \

@@ -11,8 +11,18 @@
 //! trace-event JSON exported by `AMOE_TRACE` / `TRACE_DUMP`: schema
 //! (name/cat/ph/ts/dur/pid/tid/args), finiteness, non-negative
 //! durations, and per-thread monotone timestamps.
+//!
+//! [`validate_exposition`] does the same for the Prometheus text
+//! `/metrics` pages scraped off the observability listener (grammar,
+//! `amoe_*` naming, finite values, monotone cumulative buckets,
+//! exemplar syntax). The implementation lives in
+//! [`amoe_obs::expose`] — next to the renderer it polices — and is
+//! re-exported here so the smoke gates keep one validation entry
+//! point per format.
 
 use amoe_obs::json::{parse, Value};
+
+pub use amoe_obs::expose::validate_exposition;
 
 /// One validated record: its `event` kind plus the parsed object.
 pub struct Record {

@@ -21,7 +21,11 @@
 //! * a **request trace ring** ([`trace`]) — lock-sharded bounded
 //!   buffer of per-request stage events, exportable as Chrome
 //!   trace-event JSON (`AMOE_TRACE=path`, sampled via
-//!   `AMOE_TRACE_SAMPLE=1/N`), independent of the `AMOE_OBS` gate.
+//!   `AMOE_TRACE_SAMPLE=1/N`), independent of the `AMOE_OBS` gate;
+//! * a **Prometheus text exposition layer** ([`expose`]) — renders
+//!   registry snapshots and windowed histograms (with OpenMetrics
+//!   exemplars) under the `amoe_*` naming convention, plus the
+//!   `validate_exposition` linter that CI runs against live scrapes.
 //!
 //! # Cost model
 //!
@@ -47,6 +51,7 @@
 //! `thread` fields. Numbers are always finite: non-finite floats are
 //! serialised as `null` by construction (see [`json::write_f64`]).
 
+pub mod expose;
 pub mod json;
 pub mod registry;
 pub mod sink;
@@ -60,7 +65,7 @@ pub use registry::{
 };
 pub use sink::{emit, emit_metrics_snapshot, Event};
 pub use span::{timed, Span};
-pub use window::WindowedHistogram;
+pub use window::{Exemplar, WindowedHistogram};
 
 use std::sync::atomic::{AtomicU8, Ordering};
 use std::sync::OnceLock;

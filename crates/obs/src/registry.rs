@@ -86,6 +86,14 @@ impl Histogram {
         self.count
     }
 
+    /// Per-bucket sample counts, indexed by [`Histogram::bucket_index`]
+    /// (trailing all-zero buckets are not materialised). The exposition
+    /// layer folds these into cumulative Prometheus `_bucket` series.
+    #[must_use]
+    pub fn bucket_counts(&self) -> &[u64] {
+        &self.counts
+    }
+
     /// Sum of recorded samples.
     #[must_use]
     pub fn sum(&self) -> f64 {
@@ -207,10 +215,13 @@ fn with_inner<R>(f: impl FnOnce(&mut Inner) -> R) -> R {
 }
 
 /// Adds `delta` to the named counter. No-op when telemetry is off.
+/// Debug builds assert the name follows the exposition convention
+/// ([`crate::expose::validate_metric_name`]).
 pub fn counter_add(name: &'static str, delta: u64) {
     if !crate::enabled() {
         return;
     }
+    crate::expose::debug_check_name(name);
     with_inner(|r| *r.counters.entry(name).or_insert(0) += delta);
 }
 
@@ -220,6 +231,7 @@ pub fn gauge_set(name: &'static str, v: f64) {
     if !crate::enabled() || !v.is_finite() {
         return;
     }
+    crate::expose::debug_check_name(name);
     with_inner(|r| {
         r.gauges.insert(name, v);
     });
@@ -230,6 +242,7 @@ pub fn histogram_record(name: &'static str, v: f64) {
     if !crate::enabled() {
         return;
     }
+    crate::expose::debug_check_name(name);
     with_inner(|r| r.histograms.entry(name).or_default().record(v));
 }
 
@@ -242,6 +255,7 @@ pub fn window_record(name: &'static str, v: f64) {
     if !crate::enabled() {
         return;
     }
+    crate::expose::debug_check_name(name);
     with_inner(|r| {
         r.windows
             .entry(name)

@@ -29,11 +29,31 @@ pub const DEFAULT_SLOTS: usize = 15;
 /// Default window length for registry-managed windowed histograms.
 pub const DEFAULT_WINDOW: Duration = Duration::from_secs(60);
 
+/// One retained sample linking a recorded value to the trace id of the
+/// request that produced it — the OpenMetrics exemplar exposed on
+/// `/metrics`, so a quantile spike on a dashboard links to a loadable
+/// trace of the offending request.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Exemplar {
+    /// The observed value (same unit as the histogram's samples).
+    pub value: f64,
+    /// Trace id of the request that produced it (never 0).
+    pub trace_id: u64,
+}
+
 /// A sliding-window histogram of non-negative samples (see module
 /// docs for semantics).
+///
+/// Each rotating slot additionally retains **one exemplar**: the
+/// max-value traced observation recorded while the slot was current
+/// ([`WindowedHistogram::record_traced`]). Exemplars expire with their
+/// slot, so the one surfaced by [`WindowedHistogram::exemplar`] is
+/// always from inside the live window.
 #[derive(Clone, Debug)]
 pub struct WindowedHistogram {
     slots: Vec<Histogram>,
+    /// Per-slot max-value traced observation (parallel to `slots`).
+    exemplars: Vec<Option<Exemplar>>,
     /// Nanoseconds covered by one slot.
     slot_ns: u64,
     /// Absolute slot number (`ns / slot_ns`) last observed; slots in
@@ -51,6 +71,7 @@ impl WindowedHistogram {
         let window_ns = (window.as_nanos() as u64).max(1_000_000 * slots as u64);
         WindowedHistogram {
             slots: vec![Histogram::new(); slots],
+            exemplars: vec![None; slots],
             slot_ns: window_ns / slots as u64,
             cur_slot: 0,
             anchor: Instant::now(),
@@ -85,20 +106,45 @@ impl WindowedHistogram {
         for i in 1..=steps {
             let idx = ((self.cur_slot + i) % n) as usize;
             self.slots[idx].clear();
+            self.exemplars[idx] = None;
         }
         self.cur_slot = target;
     }
 
     /// Records one sample at an explicit anchor-relative time.
     pub fn record_at_ns(&mut self, ns: u64, v: f64) {
-        self.advance(ns);
-        let idx = (self.cur_slot % self.slots.len() as u64) as usize;
-        self.slots[idx].record(v);
+        self.record_traced_at_ns(ns, v, 0);
     }
 
     /// Records one sample "now".
     pub fn record(&mut self, v: f64) {
         self.record_at_ns(self.now_ns(), v);
+    }
+
+    /// Records one sample carrying the trace id of the request that
+    /// produced it (`0` = untraced: identical to [`record`]). A traced
+    /// sample that is the slot's maximum so far becomes the slot's
+    /// exemplar.
+    ///
+    /// [`record`]: WindowedHistogram::record
+    pub fn record_traced(&mut self, v: f64, trace_id: u64) {
+        self.record_traced_at_ns(self.now_ns(), v, trace_id);
+    }
+
+    /// [`record_traced`] at an explicit anchor-relative time.
+    ///
+    /// [`record_traced`]: WindowedHistogram::record_traced
+    pub fn record_traced_at_ns(&mut self, ns: u64, v: f64, trace_id: u64) {
+        self.advance(ns);
+        let idx = (self.cur_slot % self.slots.len() as u64) as usize;
+        self.slots[idx].record(v);
+        if trace_id != 0
+            && v.is_finite()
+            && v >= 0.0
+            && self.exemplars[idx].is_none_or(|e| v > e.value)
+        {
+            self.exemplars[idx] = Some(Exemplar { value: v, trace_id });
+        }
     }
 
     /// Folds the segments live at an explicit anchor-relative time
@@ -117,6 +163,25 @@ impl WindowedHistogram {
     #[must_use]
     pub fn merged(&mut self) -> Histogram {
         self.merged_at_ns(self.now_ns())
+    }
+
+    /// The max-value exemplar across the segments live at an explicit
+    /// anchor-relative time (`None` when no traced sample is inside
+    /// the window).
+    #[must_use]
+    pub fn exemplar_at_ns(&mut self, ns: u64) -> Option<Exemplar> {
+        self.advance(ns);
+        self.exemplars
+            .iter()
+            .flatten()
+            .copied()
+            .max_by(|a, b| a.value.total_cmp(&b.value))
+    }
+
+    /// The max-value exemplar across the currently live segments.
+    #[must_use]
+    pub fn exemplar(&mut self) -> Option<Exemplar> {
+        self.exemplar_at_ns(self.now_ns())
     }
 }
 
@@ -190,6 +255,41 @@ mod tests {
         for q in [0.5, 0.95, 0.99] {
             assert_eq!(m.quantile(q), h.quantile(q));
         }
+    }
+
+    #[test]
+    fn exemplar_tracks_the_max_traced_sample_and_expires() {
+        let mut w = wh(100, 10);
+        w.record_traced_at_ns(0, 5.0, 11);
+        w.record_traced_at_ns(MS, 9.0, 22);
+        w.record_traced_at_ns(2 * MS, 7.0, 33);
+        // Untraced samples never become exemplars, even when larger.
+        w.record_at_ns(3 * MS, 100.0);
+        let e = w.exemplar_at_ns(3 * MS).expect("traced sample retained");
+        assert_eq!(
+            e,
+            Exemplar {
+                value: 9.0,
+                trace_id: 22
+            }
+        );
+        // A later slot's smaller max coexists; the window max wins.
+        w.record_traced_at_ns(50 * MS, 6.0, 44);
+        assert_eq!(w.exemplar_at_ns(50 * MS).unwrap().trace_id, 22);
+        // Once the early slots rotate out, the survivor takes over.
+        assert_eq!(w.exemplar_at_ns(130 * MS).unwrap().trace_id, 44);
+        // And it too expires with its slot.
+        assert_eq!(w.exemplar_at_ns(200 * MS), None);
+    }
+
+    #[test]
+    fn exemplar_ignores_non_finite_and_zero_ids() {
+        let mut w = wh(100, 10);
+        w.record_traced_at_ns(0, f64::NAN, 7);
+        w.record_traced_at_ns(0, 3.0, 0);
+        assert_eq!(w.exemplar_at_ns(0), None);
+        w.record_traced_at_ns(0, 3.0, 7);
+        assert_eq!(w.exemplar_at_ns(0).unwrap().trace_id, 7);
     }
 
     #[test]

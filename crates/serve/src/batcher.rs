@@ -143,14 +143,21 @@ pub(crate) fn run(shared: &Arc<Shared>, shard: usize) {
         shared.stats.note_batch(shard);
         {
             // Always-on windowed stage accounting: per-request queue
-            // waits (admission → batch assembly) and per-batch compute.
+            // waits (admission → batch assembly) and per-batch compute,
+            // into this shard's windows. Traced requests double as
+            // exemplar candidates; the batch-level compute sample
+            // carries the first traced member's id.
             let mut w = shared.stats.windows.lock().unwrap();
+            let sw = &mut w.shards[shard];
             for p in &pending {
                 let wait_us = assembled_at.duration_since(p.enqueued).as_micros() as f64;
-                w.queue_wait_us.record(wait_us);
+                sw.queue_wait_us.record_traced(wait_us, p.trace_id);
             }
-            w.compute_us
-                .record(now.duration_since(assembled_at).as_micros() as f64);
+            let compute_trace = pending.iter().map(|p| p.trace_id).find(|&t| t != 0);
+            sw.compute_us.record_traced(
+                now.duration_since(assembled_at).as_micros() as f64,
+                compute_trace.unwrap_or(0),
+            );
         }
         if amoe_obs::enabled() {
             record_batch_telemetry(shared, shard, &pending, rows, now, &compute);

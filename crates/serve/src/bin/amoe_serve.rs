@@ -6,15 +6,18 @@
 //!     DIR/model.amoe (weights) + DIR/model.spec (architecture).
 //!
 //! amoe-serve serve --ckpt FILE --spec FILE [--addr HOST:PORT]
-//!                  [--max-batch-rows N] [--max-wait-us N]
-//!                  [--queue-cap N] [--shards N] [--block-ms N]
-//!                  [--quantized]
+//!                  [--obs-addr HOST:PORT] [--max-batch-rows N]
+//!                  [--max-wait-us N] [--queue-cap N] [--shards N]
+//!                  [--block-ms N] [--quantized]
 //!     Serve the checkpoint over TCP. Prints the bound address on
 //!     stdout, then blocks until a SHUTDOWN request. `--shards` runs
 //!     N batcher shards, each with its own `--queue-cap`-deep
 //!     admission queue (scores are bit-identical at any shard count).
 //!     `--quantized` (or `serve_quantized=true` in the spec) serves
 //!     int8 expert weights; see DESIGN.md for the error contract.
+//!     `--obs-addr` starts the HTTP observability listener (GET
+//!     /metrics /healthz /readyz /vars /trace) on a second port,
+//!     printed as an `obs HOST:PORT` line after the protocol address.
 //!
 //! amoe-serve stats --addr HOST:PORT [--watch] [--interval-ms N]
 //!     Print the server's counters, sliding-window stage quantiles
@@ -29,6 +32,12 @@
 //! amoe-serve shutdown --addr HOST:PORT
 //!     Ask the server to drain gracefully: every shard queue closes,
 //!     every admitted request is answered, then the process exits.
+//!
+//! amoe-serve scrape --obs-addr HOST:PORT [--path /metrics] [--lint]
+//!     Fetch one observability endpoint with the in-repo HTTP client
+//!     and print the body. `--lint` additionally runs the Prometheus
+//!     exposition linter on the response (exit 1 on violations) —
+//!     the CI smoke stage's scrape-correctness gate.
 //! ```
 
 use std::process::ExitCode;
@@ -51,8 +60,11 @@ fn main() -> ExitCode {
         Some("stats") => stats(&args[1..]),
         Some("trace-dump") => trace_dump(&args[1..]),
         Some("shutdown") => shutdown(&args[1..]),
+        Some("scrape") => scrape(&args[1..]),
         _ => {
-            eprintln!("usage: amoe-serve <demo-export|serve|stats|trace-dump|shutdown> [options]");
+            eprintln!(
+                "usage: amoe-serve <demo-export|serve|stats|trace-dump|shutdown|scrape> [options]"
+            );
             return ExitCode::FAILURE;
         }
     };
@@ -155,6 +167,7 @@ fn serve(args: &[String]) -> Result<(), String> {
     if let Some(v) = opt_parse::<u64>(args, "--block-ms")? {
         config.overload = OverloadPolicy::Block(Duration::from_millis(v));
     }
+    config.obs_addr = opt(args, "--obs-addr")?;
 
     let spec = ModelSpec::load(&spec_path).map_err(|e| format!("load {spec_path}: {e}"))?;
     // Either side may opt in: the operator's flag or the checkpoint's
@@ -172,9 +185,31 @@ fn serve(args: &[String]) -> Result<(), String> {
     let server =
         Server::start(&addr, model, spec.meta, config).map_err(|e| format!("bind {addr}: {e}"))?;
     // The load generator (and humans) read the bound address from the
-    // first stdout line; ephemeral ports make parallel runs safe.
+    // first stdout line; ephemeral ports make parallel runs safe. The
+    // observability port, when enabled, follows on a second line.
     println!("{}", server.local_addr());
+    if let Some(obs) = server.obs_addr() {
+        println!("obs {obs}");
+    }
     server.join();
+    Ok(())
+}
+
+fn scrape(args: &[String]) -> Result<(), String> {
+    let addr = opt(args, "--obs-addr")?.ok_or("scrape: --obs-addr HOST:PORT is required")?;
+    let path = opt(args, "--path")?.unwrap_or_else(|| "/metrics".into());
+    let lint = args.iter().any(|a| a == "--lint");
+    let (status, body) = amoe_serve::http_get(&addr, &path, Duration::from_secs(10))
+        .map_err(|e| format!("GET {addr}{path}: {e}"))?;
+    if status != 200 {
+        return Err(format!("GET {addr}{path}: HTTP {status}"));
+    }
+    print!("{body}");
+    if lint {
+        let samples = amoe_obs::expose::validate_exposition(&body)
+            .map_err(|e| format!("exposition lint failed: {e}"))?;
+        eprintln!("scrape: {samples} samples, lint clean");
+    }
     Ok(())
 }
 

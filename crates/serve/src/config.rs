@@ -54,6 +54,13 @@ pub struct ServeConfig {
     /// depth). Always on — windowed accounting is a handful of
     /// histogram increments per request, independent of `AMOE_OBS`.
     pub stats_window: Duration,
+    /// Bind address for the HTTP observability listener (`/metrics`,
+    /// `/healthz`, `/readyz`, `/vars`, `/trace`) — a **separate** port
+    /// from the score protocol, so scrapes never compete with the
+    /// binary framing. `None` (the default) disables the listener.
+    /// Use port 0 for an ephemeral port
+    /// ([`crate::Server::obs_addr`] resolves it).
+    pub obs_addr: Option<String>,
 }
 
 impl Default for ServeConfig {
@@ -67,6 +74,7 @@ impl Default for ServeConfig {
             batcher_delay: None,
             quantized: false,
             stats_window: Duration::from_secs(60),
+            obs_addr: None,
         }
     }
 }

@@ -52,11 +52,13 @@
 pub mod batcher;
 pub mod client;
 pub mod config;
+pub mod http;
 pub mod protocol;
 pub mod queue;
 pub mod server;
 
 pub use client::{Client, Completion, ServeError};
 pub use config::{ModelSpec, OverloadPolicy, ServeConfig};
+pub use http::http_get;
 pub use protocol::{FeatureRow, QuantileSummary, ShardStats, StatsSnapshot, WindowedStats};
 pub use server::{shard_of, Server};

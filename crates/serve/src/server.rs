@@ -57,10 +57,11 @@ pub fn shard_of(request_id: u64, shards: usize) -> usize {
     ((request_id.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) % shards as u64) as usize
 }
 
-/// Sliding-window stage histograms behind the v2 `STATS` quantiles.
-/// Always on (a handful of histogram increments per request),
-/// independent of the `AMOE_OBS` telemetry gate.
-pub(crate) struct ServeWindows {
+/// One batcher shard's sliding-window stage histograms. Traced
+/// requests leave an [`amoe_obs::Exemplar`] in each window (the
+/// max-value traced sample per slot), surfaced as OpenMetrics
+/// exemplars on `/metrics` so a quantile spike links to its trace.
+pub(crate) struct StageWindows {
     /// End-to-end request latency (admission → reply written), µs.
     pub request_latency_us: WindowedHistogram,
     /// Admission-queue wait per request, µs.
@@ -69,40 +70,66 @@ pub(crate) struct ServeWindows {
     pub compute_us: WindowedHistogram,
     /// Reply serialisation + socket write per request, µs.
     pub reply_write_us: WindowedHistogram,
-    /// Queue depth observed at every push/pop, across all shards.
+    /// Queue depth observed at every push/pop of this shard's queue.
     pub queue_depth: WindowedHistogram,
-    /// Per-shard queue depth (index = shard id), behind the v3 `STATS`
-    /// shard block.
-    pub shard_queue_depth: Vec<WindowedHistogram>,
 }
 
-impl ServeWindows {
-    fn new(window: Duration, shards: usize) -> Self {
+impl StageWindows {
+    fn new(window: Duration) -> Self {
         let mk = || WindowedHistogram::new(window, amoe_obs::window::DEFAULT_SLOTS);
-        ServeWindows {
+        StageWindows {
             request_latency_us: mk(),
             queue_wait_us: mk(),
             compute_us: mk(),
             reply_write_us: mk(),
             queue_depth: mk(),
-            shard_queue_depth: (0..shards).map(|_| mk()).collect(),
         }
+    }
+}
+
+/// Sliding-window stage histograms behind the v2 `STATS` quantiles and
+/// the `/metrics` per-shard quantile families. Always on (a handful of
+/// histogram increments per request), independent of the `AMOE_OBS`
+/// telemetry gate. Kept **per shard** (index = shard id) so `/metrics`
+/// exposes `{shard="N"}` series; the cross-shard `STATS` readout is a
+/// bucket-exact merge of the shard windows.
+pub(crate) struct ServeWindows {
+    pub shards: Vec<StageWindows>,
+}
+
+impl ServeWindows {
+    fn new(window: Duration, shards: usize) -> Self {
+        ServeWindows {
+            shards: (0..shards).map(|_| StageWindows::new(window)).collect(),
+        }
+    }
+
+    /// Merges one stage's histograms across every shard.
+    fn merged_stage(
+        &mut self,
+        stage: impl Fn(&mut StageWindows) -> &mut WindowedHistogram,
+    ) -> amoe_obs::registry::Histogram {
+        let mut out = amoe_obs::registry::Histogram::new();
+        for s in &mut self.shards {
+            out.merge(&stage(s).merged());
+        }
+        out
     }
 }
 
 /// Monotonic service counters, updated lock-free by handler threads
 /// and the batcher shards, plus the sliding-window stage histograms.
 pub struct ServerStats {
-    requests: AtomicU64,
-    rows: AtomicU64,
-    ok: AtomicU64,
-    overloaded: AtomicU64,
-    errors: AtomicU64,
-    batches: AtomicU64,
-    reloads: AtomicU64,
+    pub(crate) requests: AtomicU64,
+    pub(crate) rows: AtomicU64,
+    pub(crate) ok: AtomicU64,
+    pub(crate) overloaded: AtomicU64,
+    pub(crate) errors: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) reloads: AtomicU64,
     /// Per-shard slices of `batches` / `overloaded` (index = shard id).
-    shard_batches: Vec<AtomicU64>,
-    shard_overloaded: Vec<AtomicU64>,
+    pub(crate) shard_batches: Vec<AtomicU64>,
+    pub(crate) shard_overloaded: Vec<AtomicU64>,
     /// Allocator for trace batch ids (`fetch_add + 1`, so ids start at
     /// 1 and 0 stays "no batch"). Shared across shards, so batch ids
     /// are unique service-wide.
@@ -142,7 +169,7 @@ impl ServerStats {
         self.batch_seq.fetch_add(1, Ordering::Relaxed) + 1
     }
 
-    fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
+    pub(crate) fn snapshot(&self, queue_depth: usize) -> StatsSnapshot {
         StatsSnapshot {
             requests: self.requests.load(Ordering::Relaxed),
             rows: self.rows.load(Ordering::Relaxed),
@@ -155,22 +182,29 @@ impl ServerStats {
         }
     }
 
-    /// Folds the sliding windows into the v2 `STATS` quantile block.
+    /// Folds the sliding windows into the v2 `STATS` quantile block
+    /// (bucket-exact merge across every shard's stage windows).
     pub(crate) fn window_stats(&self) -> WindowedStats {
         let mut w = self.windows.lock().unwrap();
-        let window_secs = w.request_latency_us.window().as_secs_f64();
+        let window_secs = w.shards[0].request_latency_us.window().as_secs_f64();
         WindowedStats {
             window_secs,
-            request_latency_us: QuantileSummary::from_histogram(&w.request_latency_us.merged()),
-            queue_wait_us: QuantileSummary::from_histogram(&w.queue_wait_us.merged()),
-            compute_us: QuantileSummary::from_histogram(&w.compute_us.merged()),
-            reply_write_us: QuantileSummary::from_histogram(&w.reply_write_us.merged()),
-            queue_depth: QuantileSummary::from_histogram(&w.queue_depth.merged()),
+            request_latency_us: QuantileSummary::from_histogram(
+                &w.merged_stage(|s| &mut s.request_latency_us),
+            ),
+            queue_wait_us: QuantileSummary::from_histogram(
+                &w.merged_stage(|s| &mut s.queue_wait_us),
+            ),
+            compute_us: QuantileSummary::from_histogram(&w.merged_stage(|s| &mut s.compute_us)),
+            reply_write_us: QuantileSummary::from_histogram(
+                &w.merged_stage(|s| &mut s.reply_write_us),
+            ),
+            queue_depth: QuantileSummary::from_histogram(&w.merged_stage(|s| &mut s.queue_depth)),
         }
     }
 
     /// Per-shard counters for the v3 `STATS` shard block.
-    fn shard_stats(&self, queues: &[RequestQueue<Pending>]) -> Vec<ShardStats> {
+    pub(crate) fn shard_stats(&self, queues: &[RequestQueue<Pending>]) -> Vec<ShardStats> {
         // Depths first: each queue's depth observer takes the windows
         // lock while holding the queue lock, so reading queue lengths
         // under the windows lock would invert that order.
@@ -181,7 +215,7 @@ impl ServerStats {
                 batches: self.shard_batches[i].load(Ordering::Relaxed),
                 overloaded: self.shard_overloaded[i].load(Ordering::Relaxed),
                 queue_depth: depths[i],
-                queue_depth_p99: w.shard_queue_depth[i].merged().quantile(0.99),
+                queue_depth_p99: w.shards[i].queue_depth.merged().quantile(0.99),
             })
             .collect()
     }
@@ -204,8 +238,13 @@ pub(crate) struct Shared {
     pub queues: Vec<RequestQueue<Pending>>,
     /// Tuning knobs.
     pub config: ServeConfig,
-    /// Set once SHUTDOWN is received.
+    /// Set once SHUTDOWN is received — the **first** store of
+    /// [`initiate_shutdown`], before the queues close, so `/readyz`
+    /// flips to 503 at drain start while in-flight requests (and
+    /// `/healthz`) keep being served.
     pub shutdown: AtomicBool,
+    /// Server start time, behind `amoe_uptime_seconds` and `/vars`.
+    pub started: Instant,
     /// Service counters (`Arc` so each queue's depth observer can hold
     /// a reference without a cycle through `Shared`).
     pub stats: Arc<ServerStats>,
@@ -233,6 +272,8 @@ pub struct Server {
     shared: Arc<Shared>,
     accept_thread: Option<JoinHandle<()>>,
     batcher_threads: Vec<JoinHandle<()>>,
+    /// The HTTP observability listener, when `obs_addr` is configured.
+    obs: Option<crate::http::ObsListener>,
 }
 
 impl Server {
@@ -266,8 +307,7 @@ impl Server {
             queue.set_depth_observer(move |depth| {
                 {
                     let mut w = stats.windows.lock().unwrap();
-                    w.queue_depth.record(depth as f64);
-                    w.shard_queue_depth[shard].record(depth as f64);
+                    w.shards[shard].queue_depth.record(depth as f64);
                 }
                 if amoe_obs::enabled() {
                     amoe_obs::gauge_set(gauge_name, depth as f64);
@@ -287,9 +327,17 @@ impl Server {
             queues,
             config,
             shutdown: AtomicBool::new(false),
+            started: Instant::now(),
             stats,
             conns: Mutex::new(Vec::new()),
         });
+        // The observability listener binds before the batchers spawn so
+        // a bind failure aborts startup instead of leaving a half-dead
+        // server that scores but cannot be scraped.
+        let obs = match shared.config.obs_addr.clone() {
+            Some(addr) => Some(crate::http::ObsListener::start(&addr, Arc::clone(&shared))?),
+            None => None,
+        };
 
         let mut batcher_threads = Vec::with_capacity(shards);
         for shard in 0..shards {
@@ -311,6 +359,7 @@ impl Server {
             shared,
             accept_thread: Some(accept_thread),
             batcher_threads,
+            obs,
         })
     }
 
@@ -318,6 +367,13 @@ impl Server {
     #[must_use]
     pub fn local_addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The HTTP observability listener's bound address (resolves
+    /// ephemeral ports); `None` when no `obs_addr` was configured.
+    #[must_use]
+    pub fn obs_addr(&self) -> Option<SocketAddr> {
+        self.obs.as_ref().map(crate::http::ObsListener::local_addr)
     }
 
     /// Current service counters.
@@ -341,12 +397,20 @@ impl Server {
     /// Blocks until the server has shut down (all connections
     /// answered, every shard's queue drained, threads exited). Only
     /// returns after a `SHUTDOWN` request.
+    ///
+    /// The observability listener is stopped **last**: `/healthz`
+    /// answers 200 (and `/readyz` 503) throughout the drain, so a load
+    /// balancer sees "alive but not ready" until the process is
+    /// actually done.
     pub fn join(mut self) {
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
         for t in self.batcher_threads.drain(..) {
             let _ = t.join();
+        }
+        if let Some(obs) = self.obs.take() {
+            obs.stop();
         }
     }
 }
@@ -719,10 +783,14 @@ fn write_score_reply(
     let latency_us = done.enqueued.elapsed().as_micros() as u64;
     {
         // Always-on windowed stage accounting behind the v2 STATS
-        // quantiles: a couple of histogram increments per request.
+        // quantiles and the per-shard /metrics families: a couple of
+        // histogram increments per request. Traced requests double as
+        // exemplar candidates.
         let mut w = shared.stats.windows.lock().unwrap();
-        w.reply_write_us.record(reply_us);
-        w.request_latency_us.record(latency_us as f64);
+        let sw = &mut w.shards[done.shard];
+        sw.reply_write_us.record_traced(reply_us, done.trace_id);
+        sw.request_latency_us
+            .record_traced(latency_us as f64, done.trace_id);
     }
     if done.trace_id != 0 {
         trace::record(

@@ -62,16 +62,19 @@ rm -rf target/ci_shard_demo && mkdir -p target/ci_shard_demo
 ./target/release/amoe-serve demo-export --out target/ci_shard_demo >/dev/null
 ./target/release/amoe-serve serve \
   --ckpt target/ci_shard_demo/model.amoe --spec target/ci_shard_demo/model.spec \
-  --addr 127.0.0.1:0 --shards 2 > target/ci_shard_demo/addr.txt &
+  --addr 127.0.0.1:0 --shards 2 --obs-addr 127.0.0.1:0 \
+  > target/ci_shard_demo/addr.txt &
 SERVE_PID=$!
 ADDR=""
+OBS_ADDR=""
 for _ in $(seq 100); do
-  ADDR="$(head -n1 target/ci_shard_demo/addr.txt 2>/dev/null || true)"
-  [[ -n "$ADDR" ]] && break
+  ADDR="$(sed -n 1p target/ci_shard_demo/addr.txt 2>/dev/null || true)"
+  OBS_ADDR="$(sed -n '2s/^obs //p' target/ci_shard_demo/addr.txt 2>/dev/null || true)"
+  [[ -n "$ADDR" && -n "$OBS_ADDR" ]] && break
   sleep 0.1
 done
-if [[ -z "$ADDR" ]]; then
-  echo "FAIL: amoe-serve did not print its bound address" >&2
+if [[ -z "$ADDR" || -z "$OBS_ADDR" ]]; then
+  echo "FAIL: amoe-serve did not print its bound addresses" >&2
   kill "$SERVE_PID" 2>/dev/null || true
   exit 1
 fi
@@ -79,6 +82,23 @@ AMOE_BENCH_SMOKE=1 \
   cargo run --release --offline -p amoe-bench --bin load_sweep -- --smoke --addr "$ADDR"
 ./target/release/amoe-serve stats --addr "$ADDR" | grep -q "shard0" || {
   echo "FAIL: stats reply carries no per-shard block" >&2; exit 1; }
+
+step "obs smoke: /metrics lints clean, /healthz and /readyz answer"
+# The scrape subcommand is the in-repo Prometheus client: --lint runs
+# the exposition validator (grammar, amoe_* naming, monotone cumulative
+# buckets, exemplar syntax) over the live page, so a malformed
+# exposition fails CI before a real scraper ever sees it.
+./target/release/amoe-serve scrape --obs-addr "$OBS_ADDR" --lint \
+  > target/ci_shard_demo/metrics.txt
+grep -q '^amoe_build_info{' target/ci_shard_demo/metrics.txt || {
+  echo "FAIL: /metrics page carries no amoe_build_info gauge" >&2; exit 1; }
+grep -q '^amoe_serve_window_request_latency_seconds_bucket{' \
+  target/ci_shard_demo/metrics.txt || {
+  echo "FAIL: /metrics page carries no windowed latency family" >&2; exit 1; }
+./target/release/amoe-serve scrape --obs-addr "$OBS_ADDR" --path /healthz \
+  | grep -qx ok || { echo "FAIL: /healthz did not answer ok" >&2; exit 1; }
+./target/release/amoe-serve scrape --obs-addr "$OBS_ADDR" --path /readyz \
+  | grep -qx ready || { echo "FAIL: /readyz did not answer ready" >&2; exit 1; }
 ./target/release/amoe-serve shutdown --addr "$ADDR"
 wait "$SERVE_PID"
 
