@@ -141,6 +141,24 @@ impl MoeModel {
         Ok(model)
     }
 
+    /// Warm-starts a model from a checkpoint file: the entry point the
+    /// online refit loop uses to resume from the previously exported
+    /// generation. Weights come from the file; optimizer state starts
+    /// fresh (it is not checkpointed).
+    ///
+    /// # Panics
+    /// Panics if `config` is inconsistent with `meta` (same contract
+    /// as [`MoeModel::new`]); file problems are returned as errors.
+    pub fn from_checkpoint(
+        meta: &DatasetMeta,
+        config: MoeConfig,
+        optim: OptimConfig,
+        path: impl AsRef<std::path::Path>,
+    ) -> Result<Self, amoe_nn::LoadError> {
+        let params = ParamSet::load(path)?;
+        Self::from_params(meta, config, optim, &params)
+    }
+
     /// The model's configuration.
     #[must_use]
     pub fn config(&self) -> &MoeConfig {

@@ -86,9 +86,21 @@ impl Trainer {
     /// size is not a multiple of `batch_size` — every example counts
     /// once here, regardless of which batch it landed in.
     pub fn fit(&self, model: &mut dyn Ranker, train: &Split) -> StepStats {
+        self.fit_epochs(model, train, self.config.epochs)
+    }
+
+    /// Refits `model` on a sliding `window` of recent sessions with an
+    /// explicit epoch count — the online loop's warm-start entry
+    /// point, where the per-refit budget (often a single pass over a
+    /// small window) is decoupled from the offline `epochs` setting.
+    pub fn fit_window(&self, model: &mut dyn Ranker, window: &Split, epochs: usize) -> StepStats {
+        self.fit_epochs(model, window, epochs)
+    }
+
+    fn fit_epochs(&self, model: &mut dyn Ranker, train: &Split, epochs: usize) -> StepStats {
         let mut batcher = Batcher::new(train, self.config.batch_size, self.config.seed);
         let mut last = StepStats::default();
-        for epoch in 0..self.config.epochs {
+        for epoch in 0..epochs {
             let ((), epoch_time) = amoe_obs::timed("trainer.epoch", || {
                 let mut sum = StepStats::default();
                 let mut examples = 0usize;
@@ -114,7 +126,7 @@ impl Trainer {
                 };
             });
             if self.config.verbose || amoe_obs::enabled() {
-                self.report_epoch(model, epoch, &last, epoch_time);
+                self.report_epoch(model, epoch, epochs, &last, epoch_time);
             }
         }
         last
@@ -126,13 +138,14 @@ impl Trainer {
         &self,
         model: &mut dyn Ranker,
         epoch: usize,
+        epochs: usize,
         stats: &StepStats,
         epoch_time: std::time::Duration,
     ) {
         let mut event = amoe_obs::Event::new("train_epoch")
             .str("model", model.name())
             .u64("epoch", epoch as u64 + 1)
-            .u64("epochs", self.config.epochs as u64)
+            .u64("epochs", epochs as u64)
             .f64("epoch_secs", epoch_time.as_secs_f64())
             .f64("loss", f64::from(stats.loss))
             .f64("ce", f64::from(stats.ce))

@@ -19,9 +19,9 @@ struct Query {
 }
 
 /// Index of `sales_volume` in the numeric features.
-const F_SALES: usize = 1;
+pub(crate) const F_SALES: usize = 1;
 /// Index of `price_z` in the numeric features.
-const F_PRICE: usize = 0;
+pub(crate) const F_PRICE: usize = 0;
 
 /// Generates a complete dataset from the configuration.
 ///
@@ -220,7 +220,7 @@ fn generate_split(
 }
 
 /// Standard normal CDF via the Abramowitz–Stegun erf approximation.
-fn normal_cdf(x: f32) -> f32 {
+pub(crate) fn normal_cdf(x: f32) -> f32 {
     let t = 1.0 / (1.0 + 0.2316419 * x.abs());
     let d = 0.3989423 * (-x * x / 2.0).exp();
     let p =
@@ -234,7 +234,7 @@ fn normal_cdf(x: f32) -> f32 {
 
 /// Bisects on a constant logit shift so that the mean sigmoid over the
 /// probe logits equals `target`.
-fn calibrate_bias(probe_logits: &[f32], target: f64) -> f32 {
+pub(crate) fn calibrate_bias(probe_logits: &[f32], target: f64) -> f32 {
     let rate = |b: f64| -> f64 {
         probe_logits
             .iter()

@@ -31,6 +31,7 @@ pub mod brands;
 pub mod buckets;
 pub mod config;
 pub mod data;
+pub mod drift;
 pub mod export;
 pub mod generator;
 pub mod hierarchy;
@@ -41,6 +42,7 @@ pub mod truth;
 pub use batch::{Batch, Batcher};
 pub use config::GeneratorConfig;
 pub use data::{Dataset, DatasetMeta, Example, Split, NUMERIC_FEATURE_NAMES, N_NUMERIC};
+pub use drift::{DriftConfig, DriftWorld, SessionWindow};
 pub use generator::generate;
 pub use hierarchy::{CategoryHierarchy, ScId, SemanticClass, TcId};
 pub use stats::DatasetStats;

@@ -119,6 +119,25 @@ impl ParamSet {
         Ok(())
     }
 
+    /// Writes the checkpoint to a sibling temp file and renames it
+    /// into place, so a concurrent reader (the serving hot-swap path
+    /// polls checkpoint paths it is told to `RELOAD`) observes either
+    /// the complete old file or the complete new file — never a torn
+    /// prefix. The temp file lives in the target's directory because
+    /// `rename` is only atomic within one filesystem.
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<(), LoadError> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        self.save(&tmp)?;
+        std::fs::rename(&tmp, path).map_err(|e| {
+            // Leave no orphan on a failed rename.
+            let _ = std::fs::remove_file(&tmp);
+            LoadError::Io(e)
+        })
+    }
+
     /// Reads a checkpoint into a fresh set (names and shapes come from
     /// the file). See the module docs for the corrupt-file contract.
     pub fn load(path: impl AsRef<Path>) -> Result<ParamSet, LoadError> {
@@ -263,6 +282,71 @@ mod tests {
             loaded.value(loaded.find("a.b").unwrap()),
             ps.value(ps.find("a.b").unwrap())
         );
+    }
+
+    #[test]
+    fn save_atomic_roundtrip_and_no_temp_left_behind() {
+        let mut rng = Rng::seed_from(21);
+        let mut ps = ParamSet::new();
+        ps.add("w", rng.normal_matrix(5, 3, 0.0, 1.0));
+        let path = tmp("atomic_roundtrip");
+        ps.save_atomic(&path).unwrap();
+        let loaded = ParamSet::load(&path).unwrap();
+        assert_eq!(
+            loaded.value(loaded.find("w").unwrap()),
+            ps.value(ps.find("w").unwrap())
+        );
+        let mut tmp_name = path.as_os_str().to_owned();
+        tmp_name.push(".tmp");
+        assert!(
+            !std::path::Path::new(&tmp_name).exists(),
+            "temp file left behind"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    /// The regression the rename dance exists for: a reader
+    /// interleaved with repeated re-exports of the same path must
+    /// never observe a torn file. With a plain `save` (truncate then
+    /// stream) the reader races the writer and sees
+    /// `Truncated`/`BadMagic`; with `save_atomic` every load succeeds
+    /// with a complete, internally consistent checkpoint.
+    #[test]
+    fn interleaved_reader_never_sees_torn_checkpoint() {
+        let path = tmp("atomic_interleaved");
+        // Two distinguishable generations of plausible size, so a torn
+        // read has plenty of partial states to land on.
+        let mk = |seed: u64| {
+            let mut rng = Rng::seed_from(seed);
+            let mut ps = ParamSet::new();
+            ps.add("emb.w", rng.normal_matrix(64, 16, 0.0, 1.0));
+            ps.add("tower.w", rng.normal_matrix(32, 32, 0.0, 1.0));
+            ps
+        };
+        let gens = [mk(1), mk(2)];
+        gens[0].save_atomic(&path).unwrap();
+
+        let reader_path = path.clone();
+        let stop = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let reader_stop = std::sync::Arc::clone(&stop);
+        let reader = std::thread::spawn(move || {
+            let mut loads = 0usize;
+            while !reader_stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let ps = ParamSet::load(&reader_path)
+                    .unwrap_or_else(|e| panic!("reader saw torn checkpoint: {e}"));
+                assert_eq!(ps.len(), 2, "partial tensor set");
+                loads += 1;
+            }
+            loads
+        });
+
+        for i in 0..200 {
+            gens[i % 2].save_atomic(&path).unwrap();
+        }
+        stop.store(true, std::sync::atomic::Ordering::Relaxed);
+        let loads = reader.join().expect("reader panicked");
+        assert!(loads > 0, "reader never overlapped the writer");
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

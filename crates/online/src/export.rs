@@ -1,0 +1,126 @@
+//! Versioned, atomic checkpoint export.
+//!
+//! Each refit produces a new *generation*: a weights checkpoint
+//! (`gen-NNNNNN.amoe`) plus a [`ModelSpec`] sidecar (`gen-NNNNNN.spec`)
+//! in one export directory. Both files are written with the temp-file +
+//! `rename` discipline (`ParamSet::save_atomic`, `ModelSpec::save_atomic`),
+//! so a server asked to `RELOAD` a generation mid-export either sees
+//! the previous complete file or the new complete file — never a torn
+//! prefix. Generations are never overwritten in place and never
+//! deleted here; retention is the operator's concern.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use amoe_nn::ParamSet;
+use amoe_serve::ModelSpec;
+
+/// A directory of `gen-NNNNNN.amoe` / `.spec` pairs sharing one spec.
+pub struct CheckpointStore {
+    dir: PathBuf,
+    spec: ModelSpec,
+}
+
+impl CheckpointStore {
+    /// Opens (creating if needed) the export directory.
+    pub fn new(dir: impl Into<PathBuf>, spec: ModelSpec) -> io::Result<CheckpointStore> {
+        let dir = dir.into();
+        fs::create_dir_all(&dir)?;
+        Ok(CheckpointStore { dir, spec })
+    }
+
+    /// The export directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// The spec written beside every generation.
+    #[must_use]
+    pub fn spec(&self) -> &ModelSpec {
+        &self.spec
+    }
+
+    /// Checkpoint path for a generation (`gen-000042.amoe`).
+    #[must_use]
+    pub fn checkpoint_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:06}.amoe"))
+    }
+
+    /// Spec sidecar path for a generation (`gen-000042.spec`).
+    #[must_use]
+    pub fn spec_path(&self, generation: u64) -> PathBuf {
+        self.dir.join(format!("gen-{generation:06}.spec"))
+    }
+
+    /// Atomically writes `generation`'s checkpoint and spec sidecar.
+    ///
+    /// Returns the absolute checkpoint path — absolute because the
+    /// path travels over the wire in a `RELOAD` and the server resolves
+    /// it against *its* working directory, not ours.
+    pub fn export(&self, generation: u64, params: &ParamSet) -> io::Result<PathBuf> {
+        let ckpt = self.checkpoint_path(generation);
+        params
+            .save_atomic(&ckpt)
+            .map_err(|e| io::Error::other(format!("checkpoint export failed: {e}")))?;
+        self.spec.save_atomic(self.spec_path(generation))?;
+        fs::canonicalize(&ckpt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amoe_dataset::{generate, GeneratorConfig};
+    use amoe_serve::ModelSpec;
+
+    fn spec() -> ModelSpec {
+        let d = generate(&GeneratorConfig::tiny(9));
+        ModelSpec {
+            meta: d.meta,
+            config: Default::default(),
+            serve_quantized: false,
+        }
+    }
+
+    fn params() -> ParamSet {
+        let mut p = ParamSet::new();
+        p.add("w", amoe_tensor::Matrix::zeros(3, 2));
+        p
+    }
+
+    #[test]
+    fn export_writes_loadable_pair_and_no_temp_files() {
+        let dir = std::env::temp_dir().join(format!("amoe-online-store-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, spec()).unwrap();
+        let path = store.export(1, &params()).unwrap();
+        assert!(path.is_absolute());
+        assert!(path.ends_with("gen-000001.amoe"));
+        let loaded = ParamSet::load(&path).unwrap();
+        assert_eq!(loaded.len(), 1);
+        let side = ModelSpec::load(store.spec_path(1)).unwrap();
+        assert_eq!(side.meta.n_numeric, store.spec().meta.n_numeric);
+        for entry in fs::read_dir(&dir).unwrap() {
+            let name = entry.unwrap().file_name();
+            let name = name.to_string_lossy().into_owned();
+            assert!(!name.ends_with(".tmp"), "temp file left behind: {name}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn generations_are_distinct_files() {
+        let dir = std::env::temp_dir().join(format!("amoe-online-gens-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let store = CheckpointStore::new(&dir, spec()).unwrap();
+        let a = store.export(1, &params()).unwrap();
+        let b = store.export(2, &params()).unwrap();
+        assert_ne!(a, b);
+        assert!(store.checkpoint_path(1).exists());
+        assert!(store.checkpoint_path(2).exists());
+        assert!(store.spec_path(2).exists());
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -235,6 +235,21 @@ impl ModelSpec {
         fs::write(path, self.to_text())
     }
 
+    /// Writes the spec via a sibling temp file plus `rename`, pairing
+    /// with [`amoe_nn::ParamSet::save_atomic`] so a versioned export
+    /// directory never holds a torn sidecar while a server is being
+    /// pointed at it.
+    pub fn save_atomic(&self, path: impl AsRef<Path>) -> io::Result<()> {
+        let path = path.as_ref();
+        let mut tmp = path.as_os_str().to_owned();
+        tmp.push(".tmp");
+        let tmp = std::path::PathBuf::from(tmp);
+        fs::write(&tmp, self.to_text())?;
+        fs::rename(&tmp, path).inspect_err(|_| {
+            let _ = fs::remove_file(&tmp);
+        })
+    }
+
     /// Reads a spec sidecar file.
     pub fn load(path: impl AsRef<Path>) -> io::Result<ModelSpec> {
         Self::from_text(&fs::read_to_string(path)?)

@@ -349,6 +349,17 @@ pub(crate) fn render_metrics(shared: &Shared) -> String {
     // Readiness as a gauge so dashboards can graph drain windows.
     let ready = !shared.shutdown.load(Ordering::SeqCst);
     r.gauge("amoe_ready", if ready { 1.0 } else { 0.0 });
+    // Model freshness: the live checkpoint generation (0 = boot
+    // model) and seconds since it was swapped in. Both move on every
+    // successful RELOAD, so staleness alerts can fire on either.
+    r.gauge(
+        "amoe_model_generation",
+        shared.model_generation.load(Ordering::Relaxed) as f64,
+    );
+    r.gauge(
+        "amoe_model_age_seconds",
+        shared.model_swapped.lock().unwrap().elapsed().as_secs_f64(),
+    );
 
     // Native monotonic counters (always on, independent of AMOE_OBS).
     r.counter("serve.requests", stats.requests.load(Ordering::Relaxed));
@@ -446,6 +457,16 @@ fn render_vars(shared: &Shared) -> String {
     let _ = write!(s, ",\"ready\":{ready}");
     s.push_str(",\"uptime_secs\":");
     write_f64(&mut s, shared.started.elapsed().as_secs_f64());
+    let _ = write!(
+        s,
+        ",\"model_generation\":{}",
+        shared.model_generation.load(Ordering::SeqCst)
+    );
+    s.push_str(",\"model_age_secs\":");
+    write_f64(
+        &mut s,
+        shared.model_swapped.lock().unwrap().elapsed().as_secs_f64(),
+    );
     for (key, v) in [
         ("requests", snapshot.requests),
         ("rows", snapshot.rows),

@@ -245,6 +245,13 @@ pub(crate) struct Shared {
     pub shutdown: AtomicBool,
     /// Server start time, behind `amoe_uptime_seconds` and `/vars`.
     pub started: Instant,
+    /// Checkpoint generation currently live: 0 for the boot model,
+    /// +1 on every successful RELOAD. Behind `amoe_model_generation`.
+    pub model_generation: AtomicU64,
+    /// Instant of the last successful model swap (start time until
+    /// the first RELOAD). Behind `amoe_model_age_seconds` — the
+    /// freshness signal the online train→reload loop is judged by.
+    pub model_swapped: Mutex<Instant>,
     /// Service counters (`Arc` so each queue's depth observer can hold
     /// a reference without a cycle through `Shared`).
     pub stats: Arc<ServerStats>,
@@ -328,6 +335,8 @@ impl Server {
             config,
             shutdown: AtomicBool::new(false),
             started: Instant::now(),
+            model_generation: AtomicU64::new(0),
+            model_swapped: Mutex::new(Instant::now()),
             stats,
             conns: Mutex::new(Vec::new()),
         });
@@ -836,11 +845,15 @@ fn reload_response(shared: &Arc<Shared>, path: &str) -> Response {
             *shared.model.lock().unwrap() =
                 Arc::new(ServingModel::new(new_model, shared.config.quantized));
             shared.stats.reloads.fetch_add(1, Ordering::Relaxed);
+            let generation = shared.model_generation.fetch_add(1, Ordering::Relaxed) + 1;
+            *shared.model_swapped.lock().unwrap() = Instant::now();
             if amoe_obs::enabled() {
                 amoe_obs::counter_add("serve.reloads", 1);
+                amoe_obs::gauge_set("serve.model_generation", generation as f64);
                 amoe_obs::emit(
                     &amoe_obs::Event::new("serve_reload")
                         .str("path", path)
+                        .u64("generation", generation)
                         .u64("ok", 1),
                 );
             }

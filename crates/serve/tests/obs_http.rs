@@ -152,12 +152,29 @@ fn concurrent_scrape_during_reload_stays_clean() {
     for _ in 0..5 {
         client.score(&rows).expect("score before reload");
     }
+    // The boot model is generation 0 until the first successful swap.
+    let (_, page) = http_get(obs, "/metrics", GET_TIMEOUT).expect("metrics before reload");
+    assert!(
+        page.contains("amoe_model_generation 0"),
+        "boot model should expose generation 0"
+    );
     client
         .reload(&ckpt.to_string_lossy())
         .expect("reload under scrape");
     for _ in 0..5 {
         client.score(&rows).expect("score after reload");
     }
+    // Freshness gauges move on the successful RELOAD: the generation
+    // increments and the model age restarts from the swap instant.
+    let (_, page) = http_get(obs, "/metrics", GET_TIMEOUT).expect("metrics after reload");
+    assert!(
+        page.contains("amoe_model_generation 1"),
+        "reload did not advance amoe_model_generation"
+    );
+    assert!(
+        page.contains("amoe_model_age_seconds"),
+        "missing amoe_model_age_seconds gauge"
+    );
 
     assert_eq!(scraper.join().expect("scraper panicked"), 30);
     let stats = client.stats().expect("stats");
@@ -195,6 +212,14 @@ fn metrics_exemplar_trace_id_round_trips_to_trace_export() {
     assert!(
         page.contains("amoe_serve_window_request_latency_seconds_bucket"),
         "missing windowed latency family"
+    );
+    assert!(
+        page.contains("amoe_model_generation"),
+        "missing model freshness generation gauge"
+    );
+    assert!(
+        page.contains("amoe_model_age_seconds"),
+        "missing model age gauge"
     );
     // Every windowed sample this server saw carried our trace id, so
     // the retained max-value exemplar must too.

@@ -102,6 +102,60 @@ grep -q '^amoe_serve_window_request_latency_seconds_bucket{' \
 ./target/release/amoe-serve shutdown --addr "$ADDR"
 wait "$SERVE_PID"
 
+step "online-loop smoke: continuous train→reload under drift"
+# A 2-shard server boots from a demo-export checkpoint; the amoe-online
+# daemon consumes the drifting session stream, refits on its sliding
+# window and hot-swaps the server through two RELOAD cycles. The daemon
+# itself exits non-zero on any failed in-flight request or if fewer
+# than --min-reloads swaps land; the scrape afterwards pins the
+# freshness gauges (generation counter, model age) on /metrics.
+cargo build --release --offline -p amoe-online --bin amoe-online
+rm -rf target/ci_online_demo && mkdir -p target/ci_online_demo
+./target/release/amoe-serve demo-export --out target/ci_online_demo >/dev/null
+./target/release/amoe-serve serve \
+  --ckpt target/ci_online_demo/model.amoe --spec target/ci_online_demo/model.spec \
+  --addr 127.0.0.1:0 --shards 2 --obs-addr 127.0.0.1:0 \
+  > target/ci_online_demo/addr.txt &
+ONLINE_SERVE_PID=$!
+OADDR=""
+OOBS=""
+for _ in $(seq 100); do
+  OADDR="$(sed -n 1p target/ci_online_demo/addr.txt 2>/dev/null || true)"
+  OOBS="$(sed -n '2s/^obs //p' target/ci_online_demo/addr.txt 2>/dev/null || true)"
+  [[ -n "$OADDR" && -n "$OOBS" ]] && break
+  sleep 0.1
+done
+if [[ -z "$OADDR" || -z "$OOBS" ]]; then
+  echo "FAIL: amoe-serve did not print its bound addresses" >&2
+  kill "$ONLINE_SERVE_PID" 2>/dev/null || true
+  exit 1
+fi
+./target/release/amoe-online run --addr "$OADDR" \
+  --spec target/ci_online_demo/model.spec \
+  --seed-ckpt target/ci_online_demo/model.amoe \
+  --export-dir target/ci_online_demo/exports \
+  --ticks 6 --refit-every 3 --sessions-per-tick 12 --epochs 1 \
+  --min-reloads 2
+./target/release/amoe-serve scrape --obs-addr "$OOBS" --lint \
+  > target/ci_online_demo/metrics.txt
+grep -q '^amoe_model_generation 2$' target/ci_online_demo/metrics.txt || {
+  echo "FAIL: /metrics generation gauge did not reach 2 after two reloads" >&2
+  exit 1; }
+grep -q '^amoe_model_age_seconds ' target/ci_online_demo/metrics.txt || {
+  echo "FAIL: /metrics page carries no model age gauge" >&2; exit 1; }
+./target/release/amoe-serve shutdown --addr "$OADDR"
+wait "$ONLINE_SERVE_PID"
+
+step "staleness smoke: online_sweep frozen-vs-fresh with validated JSONL"
+# The bench fails on its own if any swap drops a request, if fewer than
+# one refit/RELOAD cycle completes, or if the continuously refreshed
+# model does not beat the frozen seed under drift; with AMOE_OBS set it
+# re-validates its online_window_row/online_swap_row/online_summary
+# records against the obs_check schema.
+rm -f target/ci_online_sweep.jsonl
+AMOE_OBS=target/ci_online_sweep.jsonl AMOE_BENCH_SMOKE=1 \
+  cargo run --release --offline -p amoe-bench --bin online_sweep -- --smoke
+
 step "trace smoke: end-to-end request tracing emits valid Chrome JSON"
 # trace_smoke starts a live server with AMOE_TRACE set, drives traced
 # traffic, and validates both export paths (the TRACE_DUMP frame and

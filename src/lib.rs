@@ -12,6 +12,7 @@ pub use amoe_experiments as experiments;
 pub use amoe_metrics as metrics;
 pub use amoe_nn as nn;
 pub use amoe_obs as obs;
+pub use amoe_online as online;
 pub use amoe_serve as serve;
 pub use amoe_tensor as tensor;
 pub use amoe_tsne as tsne;

@@ -9,7 +9,7 @@
 //! lives in a single `#[test]` because the thread budget is process
 //! global state.
 
-use adv_hsc_moe::dataset::{generate, Batch, GeneratorConfig};
+use adv_hsc_moe::dataset::{generate, Batch, DriftConfig, DriftWorld, GeneratorConfig};
 use adv_hsc_moe::moe::ranker::{OptimConfig, Ranker};
 use adv_hsc_moe::moe::serving::{QuantizedExperts, ServingMoe};
 use adv_hsc_moe::moe::{MoeConfig, MoeModel, TrainConfig, Trainer};
@@ -218,4 +218,89 @@ fn repeated_runs_same_seed_identical() {
         ServingMoe::new(&model).predict_logits(&batch)
     };
     assert_eq!(run(), run());
+}
+
+/// Every field of every example in a drift window, with floats as raw
+/// bits so equality is exact.
+#[allow(clippy::type_complexity)]
+fn drift_fingerprint(world: &DriftWorld, ticks: &[u64], sessions: usize) -> Vec<Vec<u64>> {
+    ticks
+        .iter()
+        .map(|&t| {
+            let w = world.window(t, sessions);
+            let mut fp = Vec::with_capacity(w.split.len() * 12);
+            fp.push(w.tick);
+            fp.push(w.split.sessions.len() as u64);
+            for e in &w.split.examples {
+                fp.push(u64::from(e.session));
+                fp.push(u64::from(e.query));
+                fp.push(e.true_sc as u64);
+                fp.push(e.pred_sc as u64);
+                fp.push(e.brand as u64);
+                fp.push(e.shop as u64);
+                fp.push(e.user_segment as u64);
+                fp.push(e.price_bucket as u64);
+                fp.push(u64::from(e.label));
+                fp.push(u64::from(e.raw_sales.to_bits()));
+                for v in e.numeric {
+                    fp.push(u64::from(v.to_bits()));
+                }
+            }
+            fp
+        })
+        .collect()
+}
+
+#[test]
+fn drift_stream_windows_identical_across_runs_and_thread_counts() {
+    // The drifting session stream feeds the online train→reload loop;
+    // if it wobbled with the thread budget, "replay the same stream"
+    // benchmarks would compare different workloads. Same seed + same
+    // drift schedule ⇒ bit-identical windows for every AMOE_THREADS,
+    // for repeated construction, and for out-of-order window access.
+    let base = GeneratorConfig::tiny(47);
+    let drift = DriftConfig::default();
+    let ticks = [0u64, 1, 2, 5, 9];
+
+    let reference = drift_fingerprint(&DriftWorld::new(&base, &drift), &ticks, 12);
+    assert!(
+        reference.iter().any(|fp| fp.len() > 2),
+        "fingerprint must cover real examples"
+    );
+
+    for &threads in &THREAD_SWEEP {
+        pool::set_threads(threads);
+        let world = DriftWorld::new(&base, &drift);
+        assert_eq!(
+            drift_fingerprint(&world, &ticks, 12),
+            reference,
+            "drift stream diverged at {threads} threads"
+        );
+        // Windows are pure functions of (world, tick): reading the
+        // stream backwards must reproduce the forward read exactly.
+        let mut reversed: Vec<u64> = ticks.to_vec();
+        reversed.reverse();
+        let mut back = drift_fingerprint(&world, &reversed, 12);
+        back.reverse();
+        assert_eq!(
+            back, reference,
+            "out-of-order window access diverged at {threads} threads"
+        );
+    }
+    pool::clear_threads_override();
+
+    // A different drift seed must actually change the stream (the
+    // schedule is not vestigial).
+    let other = DriftWorld::new(
+        &base,
+        &DriftConfig {
+            seed: drift.seed + 1,
+            ..drift
+        },
+    );
+    assert_ne!(
+        drift_fingerprint(&other, &ticks, 12),
+        reference,
+        "drift schedule seed must matter"
+    );
 }
